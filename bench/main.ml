@@ -1,0 +1,128 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks of the SLA-tree primitives
+   (Fig 17's subject): full build, one postpone question, a whole
+   scheduling decision, and the O(N)-per-question naive baseline the
+   data structure replaces.
+
+   Part 2 — regeneration of every table and figure of the paper's
+   evaluation (Tables 2-7, Figures 15 and 17). Scale is controlled by
+   SLATREE_SCALE (see Exp_scale): "smoke" | "default" | "paper". *)
+
+open Bechamel
+open Toolkit
+
+let sizes = [ 100; 500; 1000; 2000 ]
+let now = 200.0
+
+let buffer_of n = Fig17.make_buffer ~seed:42 n
+
+let build_tests =
+  Test.make_indexed ~name:"sla_tree.build" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let buffer = buffer_of n in
+      Staged.stage (fun () -> ignore (Sla_tree.build ~now buffer)))
+
+let postpone_tests =
+  Test.make_indexed ~name:"sla_tree.postpone" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let buffer = buffer_of n in
+      let tree = Sla_tree.build ~now buffer in
+      let tau = 50.0 in
+      Staged.stage (fun () -> ignore (Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau)))
+
+let naive_postpone_tests =
+  Test.make_indexed ~name:"naive.postpone" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let buffer = buffer_of n in
+      let entries = Schedule.of_queries ~now buffer in
+      let tau = 50.0 in
+      Staged.stage (fun () ->
+          ignore (Naive_whatif.postpone_by_units entries ~m:0 ~n:(n - 1) ~tau)))
+
+let decision_tests =
+  (* One full scheduling decision: build + N what-if questions
+     (the quantity plotted in Fig 17). *)
+  Test.make_indexed ~name:"sched.decision" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let buffer = buffer_of n in
+      Staged.stage (fun () ->
+          ignore (What_if.best_rush (Sla_tree.build ~now buffer))))
+
+let incr_question_tests =
+  (* One postpone question against a live incremental tree. *)
+  Test.make_indexed ~name:"incr.postpone" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let tree = Incr_sla_tree.create ~now (buffer_of n) in
+      Staged.stage (fun () ->
+          ignore (Incr_sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau:50.0)))
+
+let incr_cycle_tests =
+  (* A full pop+append cycle on the incremental structure (amortized
+     rebuilds included) — contrast with sched.decision, which rebuilds
+     everything. *)
+  Test.make_indexed ~name:"incr.pop_append" ~fmt:"%s:%d" ~args:sizes (fun n ->
+      let tree = Incr_sla_tree.create ~now (buffer_of n) in
+      let replacement = (buffer_of 1).(0) in
+      Staged.stage (fun () ->
+          Incr_sla_tree.pop_head tree;
+          Incr_sla_tree.append tree replacement))
+
+let run_micro () =
+  let grouped =
+    Test.make_grouped ~name:"slatree"
+      [
+        build_tests;
+        postpone_tests;
+        naive_postpone_tests;
+        decision_tests;
+        incr_question_tests;
+        incr_cycle_tests;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "@.=== Bechamel micro-benchmarks (per call) ===@.";
+  Fmt.pr "%-36s %14s@." "benchmark" "time";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "-"
+        else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+        else Printf.sprintf "%10.1f ns" ns
+      in
+      Fmt.pr "%-36s %14s@." name pretty)
+    rows;
+  Fmt.pr "@."
+
+let () =
+  let ppf = Format.std_formatter in
+  let scale = Exp_scale.from_env () in
+  Fmt.pr
+    "SLA-tree benchmark harness — scale %s (%d queries, %d warm-up, %d repeats)@."
+    (Exp_scale.name scale) scale.Exp_scale.n_queries scale.Exp_scale.warmup
+    scale.Exp_scale.repeats;
+  run_micro ();
+  Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
+  Table2.run ppf scale;
+  Table3.run ppf scale;
+  Table4.run ppf scale;
+  Table5.run ppf scale;
+  Table6.run ppf scale;
+  Table7.run ppf ();
+  Fig17.run ppf ~seed:scale.Exp_scale.base_seed ();
+  Validation.run ppf scale;
+  Ablations.run_all ppf scale;
+  Fmt.pr "@.done.@."

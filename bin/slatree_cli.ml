@@ -1,0 +1,360 @@
+(* Command line driver: regenerate any of the paper's tables and
+   figures, or run a small interactive demo of the SLA-tree API. *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let scale_arg =
+  let doc =
+    "Experiment scale: 'paper' (20k queries, 10 repeats), 'default', 'smoke', \
+     or a query count. Overrides SLATREE_SCALE."
+  in
+  Arg.(value & opt (some string) None & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let resolve_scale = function
+  | None -> Exp_scale.from_env ()
+  | Some s -> begin
+    match Exp_scale.of_string s with
+    | Some t -> t
+    | None -> `Error |> ignore; Exp_scale.default
+  end
+
+let print_scale scale =
+  Fmt.pf ppf "scale: %s (%d queries, %d warm-up, %d repeats)@."
+    (Exp_scale.name scale) scale.Exp_scale.n_queries scale.Exp_scale.warmup
+    scale.Exp_scale.repeats
+
+let run_table n scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  match n with
+  | 2 -> `Ok (Table2.run ppf scale)
+  | 3 -> `Ok (Table3.run ppf scale)
+  | 4 -> `Ok (Table4.run ppf scale)
+  | 5 -> `Ok (Table5.run ppf scale)
+  | 6 -> `Ok (Table6.run ppf scale)
+  | 7 -> `Ok (Table7.run ppf ())
+  | _ -> `Error (false, "table number must be in 2..7")
+
+let run_fig n scale_opt data_dir =
+  let scale = resolve_scale scale_opt in
+  let seed = scale.Exp_scale.base_seed in
+  let maybe_export f =
+    match data_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter (Fmt.pf ppf "wrote %s@.") (f dir)
+  in
+  match n with
+  | 15 ->
+    Fig15.run ppf ~seed ();
+    maybe_export (fun dir -> Fig15.export ~dir ~seed ());
+    `Ok ()
+  | 17 ->
+    Fig17.run ppf ~seed ();
+    maybe_export (fun dir -> [ Fig17.export ~dir ~seed () ]);
+    `Ok ()
+  | _ -> `Error (false, "figure number must be 15 or 17")
+
+let run_all scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
+  Table2.run ppf scale;
+  Table3.run ppf scale;
+  Table4.run ppf scale;
+  Table5.run ppf scale;
+  Table6.run ppf scale;
+  Table7.run ppf ();
+  Fig17.run ppf ~seed:scale.Exp_scale.base_seed ();
+  `Ok ()
+
+let run_ablation which scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  match which with
+  | "sched" -> `Ok (Ablations.sched_run ppf scale)
+  | "dispatch" -> `Ok (Ablations.disp_run ppf scale)
+  | "admission" -> `Ok (Ablations.admission_run ppf scale)
+  | "incremental" -> `Ok (Ablations.incr_run ppf ~seed:scale.Exp_scale.base_seed ())
+  | "predictor" -> `Ok (Ablations.predictor_run ppf scale)
+  | "fairness" -> `Ok (Ablations.fairness_run ppf scale)
+  | "hetero" -> `Ok (Ablations.hetero_run ppf scale)
+  | "drop" -> `Ok (Ablations.drop_run ppf scale)
+  | "optimality" ->
+    `Ok (Ablations.optimality_run ppf ~seed:scale.Exp_scale.base_seed ())
+  | "all" -> `Ok (Ablations.run_all ppf scale)
+  | s ->
+    `Error
+      ( false,
+        Printf.sprintf
+          "unknown ablation %S (expected \
+           sched|dispatch|admission|incremental|predictor|fairness|hetero|drop|optimality|all)"
+          s )
+
+let run_validate scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  `Ok (Validation.run ppf scale)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* A small narrative walk through the public API. *)
+let run_demo verbose =
+  setup_logs verbose;
+  let mu = 20.0 in
+  let buyer = Sla_profiles.sla_b_customer ~mu in
+  let employee = Sla_profiles.sla_b_employee ~mu in
+  let mk id arrival size sla = Query.make ~id ~arrival ~size ~sla () in
+  let buffer =
+    [|
+      mk 0 0.0 15.0 buyer;
+      mk 1 2.0 30.0 employee;
+      mk 2 4.0 10.0 buyer;
+      mk 3 5.0 25.0 buyer;
+    |]
+  in
+  let now = 10.0 in
+  let tree = Sla_tree.build ~now buffer in
+  Fmt.pf ppf "SLA-tree over %d buffered queries (%d slack units, %d tardy units)@."
+    (Sla_tree.length tree)
+    (fst (Sla_tree.unit_counts tree))
+    (snd (Sla_tree.unit_counts tree));
+  Fmt.pf ppf "postpone(0, 3, 10ms) loses $%.2f@."
+    (Sla_tree.postpone tree ~m:0 ~n:3 ~tau:10.0);
+  Fmt.pf ppf "postpone(0, 3, 60ms) loses $%.2f@."
+    (Sla_tree.postpone tree ~m:0 ~n:3 ~tau:60.0);
+  Array.iteri
+    (fun i _ ->
+      Fmt.pf ppf "rushing query %d nets $%.2f@." i (What_if.rush_net_gain tree i))
+    buffer;
+  (match What_if.best_rush tree with
+  | Some (i, g) -> Fmt.pf ppf "scheduler decision: run query %d next (nets $%.2f)@." i g
+  | None -> ());
+  (* The same decisions through the Fig 2 frontend (use --verbose to
+     see its decision trace). *)
+  let frontend = Frontend.create Planner.fcfs in
+  Array.iter (Frontend.query_arrive frontend) buffer;
+  let rec drain t =
+    match Frontend.get_next_query frontend ~now:t with
+    | None -> ()
+    | Some q -> drain (t +. q.Query.est_size)
+  in
+  drain now;
+  Fmt.pf ppf "frontend drained the buffer: %d decisions, %d profit-driven rushes@."
+    (Frontend.decisions frontend) (Frontend.rushes frontend);
+  `Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace tooling: generate a workload to a file; replay a file under a
+   chosen policy. *)
+
+let kind_of_string = function
+  | "exp" -> Ok Workloads.Exp
+  | "pareto" -> Ok Workloads.Pareto
+  | "ssbm" -> Ok Workloads.Ssbm_wl
+  | s -> Error (Printf.sprintf "unknown workload %S (exp|pareto|ssbm)" s)
+
+let profile_of_string = function
+  | "a" | "sla-a" -> Ok Workloads.Sla_a
+  | "b" | "sla-b" -> Ok Workloads.Sla_b
+  | s -> Error (Printf.sprintf "unknown SLA profile %S (a|b)" s)
+
+let scheduler_of_string ~rate = function
+  | "fcfs" -> Ok Schedulers.fcfs
+  | "sjf" -> Ok Schedulers.sjf
+  | "edf" -> Ok Schedulers.edf
+  | "value-edf" -> Ok Schedulers.value_edf
+  | "cbs" -> Ok (Schedulers.cbs ~rate)
+  | "fcfs+tree" -> Ok Schedulers.fcfs_sla_tree
+  | "sjf+tree" -> Ok Schedulers.sjf_sla_tree
+  | "edf+tree" -> Ok Schedulers.edf_sla_tree
+  | "value-edf+tree" -> Ok Schedulers.value_edf_sla_tree
+  | "cbs+tree" -> Ok (Schedulers.cbs_sla_tree ~rate)
+  | s -> Error (Printf.sprintf "unknown scheduler %S" s)
+
+let dispatcher_of_string ~rate = function
+  | "rr" -> Ok Dispatchers.round_robin
+  | "lwl" -> Ok Dispatchers.lwl
+  | "random" -> Ok (Dispatchers.random ~seed:1)
+  | "tree" -> Ok (Dispatchers.sla_tree (Planner.cbs ~rate))
+  | "tree+ac" -> Ok (Dispatchers.sla_tree ~admission:true (Planner.cbs ~rate))
+  | s -> Error (Printf.sprintf "unknown dispatcher %S" s)
+
+let run_trace_generate out kind profile load servers n seed sigma2 =
+  match (kind_of_string kind, profile_of_string profile) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok kind, Ok profile ->
+    let error =
+      if sigma2 = 0.0 then Estimate_error.none
+      else Estimate_error.gaussian ~sigma2 ()
+    in
+    let cfg =
+      Trace.config ~error ~kind ~profile ~load ~servers ~n_queries:n ~seed ()
+    in
+    let queries = Trace.generate cfg in
+    Trace_io.save out queries;
+    Fmt.pf ppf "wrote %d queries to %s (%s, %s, load %.2f, %d server(s))@." n out
+      (Workloads.kind_name kind)
+      (Workloads.profile_name profile)
+      load servers;
+    `Ok ()
+
+let run_trace_replay file scheduler_name dispatcher_name servers warmup =
+  match Trace_io.load file with
+  | exception Trace_io.Parse_error e -> `Error (false, "parse error: " ^ e)
+  | exception Sys_error e -> `Error (false, e)
+  | queries ->
+    let mean =
+      Array.fold_left (fun acc q -> acc +. q.Query.est_size) 0.0 queries
+      /. Float.of_int (max 1 (Array.length queries))
+    in
+    let rate = 1.0 /. mean in
+    (match (scheduler_of_string ~rate scheduler_name, dispatcher_of_string ~rate dispatcher_name) with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok scheduler, Ok dispatcher ->
+      let metrics = Metrics.create ~warmup_id:warmup in
+      Sim.run ~queries ~n_servers:servers
+        ~pick_next:(Schedulers.pick scheduler)
+        ~dispatch:(Dispatchers.instantiate dispatcher)
+        ~metrics ();
+      Fmt.pf ppf "replayed %d queries (%s / %s, %d server(s), warm-up %d)@."
+        (Array.length queries) (Schedulers.name scheduler)
+        (Dispatchers.name dispatcher) servers warmup;
+      Fmt.pf ppf "  avg profit loss : $%.4f per query@." (Metrics.avg_loss metrics);
+      Fmt.pf ppf "  avg profit      : $%.4f per query@." (Metrics.avg_profit metrics);
+      Fmt.pf ppf "  deadline misses : %.2f%%@."
+        (100.0 *. Metrics.late_fraction metrics);
+      Fmt.pf ppf "  response p50/p95/p99: %.2f / %.2f / %.2f ms@."
+        (Metrics.response_percentile metrics 50.0)
+        (Metrics.response_percentile metrics 95.0)
+        (Metrics.response_percentile metrics 99.0);
+      if Metrics.rejected_count metrics > 0 then
+        Fmt.pf ppf "  rejected        : %d@." (Metrics.rejected_count metrics);
+      `Ok ())
+
+let table_cmd =
+  let n =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (2-7)")
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate a table from the paper's evaluation")
+    Term.(ret (const run_table $ n $ scale_arg))
+
+let fig_cmd =
+  let n =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (15 or 17)")
+  in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Also write gnuplot-ready .dat files into DIR")
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate a figure from the paper's evaluation")
+    Term.(ret (const run_fig $ n $ scale_arg $ data_dir))
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure")
+    Term.(ret (const run_all $ scale_arg))
+
+let demo_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show decision traces")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Walk through the SLA-tree what-if API on a tiny buffer")
+    Term.(ret (const run_demo $ verbose))
+
+let ablation_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WHICH"
+          ~doc:
+            "sched | dispatch | admission | incremental | predictor | fairness \
+             | hetero | all")
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Run an ablation study beyond the paper's tables")
+    Term.(ret (const run_ablation $ which $ scale_arg))
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check the simulator against closed-form M/M/m results")
+    Term.(ret (const run_validate $ scale_arg))
+
+let trace_generate_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+           ~doc:"Output trace file")
+  in
+  let kind =
+    Arg.(value & opt string "exp" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Workload: exp | pareto | ssbm")
+  in
+  let profile =
+    Arg.(value & opt string "a" & info [ "profile" ] ~docv:"P" ~doc:"SLA profile: a | b")
+  in
+  let load =
+    Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"RHO" ~doc:"System load")
+  in
+  let servers =
+    Arg.(value & opt int 1 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+  in
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Query count")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed") in
+  let sigma2 =
+    Arg.(value & opt float 0.0 & info [ "sigma2" ] ~docv:"S2"
+           ~doc:"Estimation error variance (Sec 7.5); 0 = perfect estimates")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload trace file")
+    Term.(
+      ret
+        (const run_trace_generate $ out $ kind $ profile $ load $ servers $ n
+       $ seed $ sigma2))
+
+let trace_replay_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file")
+  in
+  let scheduler =
+    Arg.(value & opt string "cbs+tree" & info [ "scheduler" ] ~docv:"SCHED"
+           ~doc:"fcfs | sjf | edf | value-edf | cbs, each optionally +tree")
+  in
+  let dispatcher =
+    Arg.(value & opt string "lwl" & info [ "dispatcher" ] ~docv:"DISP"
+           ~doc:"rr | lwl | random | tree | tree+ac")
+  in
+  let servers =
+    Arg.(value & opt int 1 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+  in
+  let warmup =
+    Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"W"
+           ~doc:"Exclude queries with id below this from measurement")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a trace file under a chosen policy")
+    Term.(
+      ret (const run_trace_replay $ file $ scheduler $ dispatcher $ servers $ warmup))
+
+let trace_cmd =
+  Cmd.group (Cmd.info "trace" ~doc:"Generate and replay workload trace files")
+    [ trace_generate_cmd; trace_replay_cmd ]
+
+let main =
+  Cmd.group
+    (Cmd.info "slatree" ~version:"1.0.0"
+       ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
+    [ table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; validate_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

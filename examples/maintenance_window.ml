@@ -1,0 +1,62 @@
+(* Expedite/postpone what-ifs beyond scheduling (the applications the
+   paper mentions in footnote 4): planning a maintenance pause and
+   sizing a catch-up after a stall.
+
+   Run with: dune exec examples/maintenance_window.exe *)
+
+let () =
+  let mu = 20.0 in
+  let rng = Prng.create 99 in
+  (* A busy buffer: 40 queries with mixed urgency. *)
+  let buffer =
+    Array.init 40 (fun id ->
+        let size = Prng.exponential rng ~mean:mu in
+        let urgency = 2.0 +. (Prng.float rng *. 40.0) in
+        let sla =
+          Sla.make
+            ~levels:
+              [
+                { bound = urgency *. mu /. 4.0; gain = 2.0 };
+                { bound = urgency *. mu; gain = 1.0 };
+              ]
+            ~penalty:0.5
+        in
+        Query.make ~id ~arrival:(Float.of_int id *. 2.0) ~size ~sla ())
+  in
+  let now = 100.0 in
+  let tree = Sla_tree.build ~now buffer in
+
+  Fmt.pr "Buffer of %d queries, $%.1f of profit still at stake.@.@."
+    (Sla_tree.length tree)
+    (Sla_tree.total_profit_at_stake tree);
+
+  (* 1. Planning a 60 ms maintenance pause. *)
+  let duration = 60.0 in
+  Fmt.pr "Where should a %.0f ms maintenance pause go?@." duration;
+  List.iter
+    (fun p ->
+      let n = Sla_tree.length tree in
+      let loss =
+        if p >= n then 0.0 else Sla_tree.postpone tree ~m:p ~n:(n - 1) ~tau:duration
+      in
+      Fmt.pr "  before position %2d -> lose $%.2f@." p loss)
+    [ 0; 10; 20; 30; 40 ];
+  (match What_if.best_maintenance_slot ~latest_start:(now +. 300.0) tree ~duration with
+  | Some (p, loss) ->
+    Fmt.pr "=> best slot that starts within 300 ms: position %d (lose $%.2f)@." p loss
+  | None -> ());
+
+  (* 2. An unplanned 100 ms stall just happened. *)
+  Fmt.pr "@.A %.0f ms stall hits. Damage and catch-up options:@." 100.0;
+  List.iter
+    (fun catch_up ->
+      let lost, recovered = What_if.stall_impact tree ~stall:100.0 ~catch_up in
+      Fmt.pr "  catch-up %5.0f ms -> lost $%.2f, recovered $%.2f@." catch_up lost
+        recovered)
+    [ 0.0; 25.0; 50.0; 100.0 ];
+
+  (* 3. What is borrowed capacity worth right now? *)
+  Fmt.pr "@.Marginal value of starting the whole buffer earlier:@.";
+  List.iter
+    (fun (tau, gain) -> Fmt.pr "  expedite by %5.0f ms -> recover $%.2f@." tau gain)
+    (What_if.recovery_curve tree ~taus:[ 10.0; 25.0; 50.0; 100.0; 200.0 ])

@@ -1,0 +1,74 @@
+(* Quickstart: build an SLA-tree over a buffer of queries and ask it
+   the paper's two key questions, then use the what-if helpers that
+   power scheduling and dispatching decisions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Define SLAs. A buyer's query earns $2 if answered within
+     20 ms, $1 within 100 ms, nothing after that. An analyst's query
+     earns $1 within 200 ms but costs a $10 penalty when even that
+     deadline is missed. *)
+  let buyer =
+    Sla.make
+      ~levels:[ { bound = 20.0; gain = 2.0 }; { bound = 100.0; gain = 1.0 } ]
+      ~penalty:0.0
+  in
+  let analyst = Sla.make ~levels:[ { bound = 200.0; gain = 1.0 } ] ~penalty:10.0 in
+
+  (* 2. A buffer of queries waiting in front of a database server, in
+     their planned execution order. Times are in ms. *)
+  let buffer =
+    [|
+      Query.make ~id:0 ~arrival:0.0 ~size:15.0 ~sla:buyer ();
+      Query.make ~id:1 ~arrival:2.0 ~size:40.0 ~sla:analyst ();
+      Query.make ~id:2 ~arrival:5.0 ~size:10.0 ~sla:buyer ();
+      Query.make ~id:3 ~arrival:9.0 ~size:25.0 ~sla:buyer ();
+    |]
+  in
+
+  (* 3. Build the SLA-tree. [now] is when the server becomes free. *)
+  let now = 10.0 in
+  let tree = Sla_tree.build ~now buffer in
+  let slack_units, tardy_units = Sla_tree.unit_counts tree in
+  Fmt.pr "Built an SLA-tree over %d queries (%d slack units, %d tardiness units)@."
+    (Sla_tree.length tree) slack_units tardy_units;
+
+  (* 4. The two key questions (Sec 3.1 of the paper). *)
+  Fmt.pr "@.What if queries 0..3 were postponed?@.";
+  List.iter
+    (fun tau ->
+      Fmt.pr "  postpone by %5.1f ms -> lose $%.2f@." tau
+        (Sla_tree.postpone tree ~m:0 ~n:3 ~tau))
+    [ 5.0; 15.0; 40.0; 120.0 ];
+
+  Fmt.pr "@.What if queries 0..3 were expedited?@.";
+  List.iter
+    (fun tau ->
+      Fmt.pr "  expedite by %5.1f ms -> gain $%.2f@." tau
+        (Sla_tree.expedite tree ~m:0 ~n:3 ~tau))
+    [ 5.0; 15.0; 40.0 ];
+
+  (* 5. Scheduling: which query should run next? *)
+  Fmt.pr "@.Net gain of rushing each query to the front:@.";
+  Array.iteri
+    (fun i q ->
+      Fmt.pr "  rush q%d (%4.1f ms of work): $%+.2f@." i q.Query.est_size
+        (What_if.rush_net_gain tree i))
+    buffer;
+  (match What_if.best_rush tree with
+  | Some (i, gain) ->
+    Fmt.pr "=> the profit-aware scheduler runs q%d next (nets $%+.2f)@." i gain
+  | None -> ());
+
+  (* 6. Dispatching: what would it cost to accept one more query? *)
+  let newcomer = Query.make ~id:4 ~arrival:now ~size:30.0 ~sla:buyer () in
+  Fmt.pr "@.Inserting a new 30 ms buyer query:@.";
+  List.iter
+    (fun pos ->
+      (* [+. 0.0] folds IEEE negative zero into plain zero for display. *)
+      Fmt.pr "  at position %d -> net profit change $%+.2f@." pos
+        (What_if.insertion_delta tree ~query:newcomer ~pos +. 0.0))
+    [ 0; 2; 4 ];
+  Fmt.pr "  on an idle server -> $%+.2f@."
+    (What_if.idle_server_profit ~now newcomer)

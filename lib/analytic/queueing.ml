@@ -1,0 +1,98 @@
+(* Closed-form M/M/1 and M/M/m (Erlang C) queueing formulas.
+
+   These are not part of the paper's contribution; they validate the
+   simulation substrate. For exponential workloads under FCFS the
+   simulator's SLA-A loss must match the analytic response-time tail —
+   that cross-check lives in the test suite and in the Validation
+   experiment runner. *)
+
+(* Probability an arriving job waits in an M/M/m queue with offered
+   load a = lambda/mu (Erlang C formula). Requires a < m for
+   stability. *)
+let erlang_c ~servers ~offered_load =
+  if servers <= 0 then invalid_arg "Queueing.erlang_c: servers <= 0";
+  let a = offered_load in
+  if a < 0.0 then invalid_arg "Queueing.erlang_c: offered_load < 0";
+  let m = servers in
+  if a >= Float.of_int m then 1.0
+  else begin
+    (* Sum a^k/k! iteratively to avoid overflow. *)
+    let term = ref 1.0 in
+    let sum = ref 1.0 in
+    for k = 1 to m - 1 do
+      term := !term *. a /. Float.of_int k;
+      sum := !sum +. !term
+    done;
+    let top = !term *. a /. Float.of_int m in
+    (* top = a^m/m! *)
+    let rho = a /. Float.of_int m in
+    let top = top /. (1.0 -. rho) in
+    top /. (!sum +. top)
+  end
+
+(* P(response > t) for an M/M/m FCFS queue: the job's own service
+   S ~ Exp(mu) plus a wait that is 0 with probability 1 - C and
+   Exp(m*mu - lambda) otherwise. *)
+let mmm_response_tail ~servers ~arrival_rate ~service_rate ~t =
+  if t < 0.0 then 1.0
+  else begin
+    let m = Float.of_int servers in
+    let mu = service_rate in
+    let lambda = arrival_rate in
+    if lambda >= m *. mu then 1.0
+    else begin
+      let c = erlang_c ~servers ~offered_load:(lambda /. mu) in
+      let beta = (m *. mu) -. lambda in
+      if Float.abs (beta -. mu) < 1e-12 *. mu then
+        (* Degenerate case beta = mu: R has an Erlang-flavoured tail. *)
+        exp (-.mu *. t) *. (1.0 +. (c *. mu *. t))
+      else
+        exp (-.mu *. t)
+        +. (c *. mu /. (mu -. beta) *. (exp (-.beta *. t) -. exp (-.mu *. t)))
+    end
+  end
+
+(* Special case m = 1: the textbook exponential response time with
+   rate mu*(1 - rho). *)
+let mm1_response_tail ~arrival_rate ~service_rate ~t =
+  mmm_response_tail ~servers:1 ~arrival_rate ~service_rate ~t
+
+(* Mean response time of an M/M/m FCFS queue. *)
+let mmm_mean_response ~servers ~arrival_rate ~service_rate =
+  let m = Float.of_int servers in
+  let mu = service_rate in
+  let lambda = arrival_rate in
+  if lambda >= m *. mu then infinity
+  else begin
+    let c = erlang_c ~servers ~offered_load:(lambda /. mu) in
+    (1.0 /. mu) +. (c /. ((m *. mu) -. lambda))
+  end
+
+(* Pollaczek-Khinchine: mean waiting time of an M/G/1 FCFS queue with
+   general service times, from the first two moments of the service
+   distribution. Validates the simulator on the SSBM workload, whose
+   moments are exact (13 known values). *)
+let mg1_mean_wait ~arrival_rate ~mean_service ~second_moment =
+  if mean_service <= 0.0 || second_moment < mean_service *. mean_service then
+    invalid_arg "Queueing.mg1_mean_wait: inconsistent moments";
+  let rho = arrival_rate *. mean_service in
+  if rho >= 1.0 then infinity
+  else arrival_rate *. second_moment /. (2.0 *. (1.0 -. rho))
+
+let mg1_mean_response ~arrival_rate ~mean_service ~second_moment =
+  mean_service +. mg1_mean_wait ~arrival_rate ~mean_service ~second_moment
+
+(* Expected per-query loss of a stepwise SLA under the M/M/m response
+   distribution: loss = max_gain - sum_k gain_k * P(level k reached). *)
+let expected_sla_loss sla ~servers ~arrival_rate ~service_rate =
+  let tail t = mmm_response_tail ~servers ~arrival_rate ~service_rate ~t in
+  let levels = Sla.levels sla in
+  let expected_profit =
+    List.fold_left
+      (fun (acc, prev_tail) { Sla.bound; gain } ->
+        let cur_tail = tail bound in
+        (acc +. (gain *. (prev_tail -. cur_tail)), cur_tail))
+      (0.0, 1.0) levels
+    |> fun (acc, last_tail) -> acc -. (Sla.penalty sla *. last_tail)
+  in
+  Sla.max_gain sla -. expected_profit

@@ -1,0 +1,30 @@
+(** Closed-form M/M/1 and M/M/m queueing formulas, used to validate
+    the simulation substrate (exponential workload, FCFS). *)
+
+(** Erlang C: probability an arrival waits, given [offered_load]
+    (lambda/mu) and [servers]. Returns 1 when unstable. *)
+val erlang_c : servers:int -> offered_load:float -> float
+
+(** [P(response > t)] for M/M/m FCFS. *)
+val mmm_response_tail :
+  servers:int -> arrival_rate:float -> service_rate:float -> t:float -> float
+
+val mm1_response_tail : arrival_rate:float -> service_rate:float -> t:float -> float
+
+(** Mean response time (infinity when unstable). *)
+val mmm_mean_response :
+  servers:int -> arrival_rate:float -> service_rate:float -> float
+
+(** Pollaczek-Khinchine mean waiting time for M/G/1 FCFS, from the
+    first two service moments. Infinity when unstable; raises on
+    inconsistent moments. *)
+val mg1_mean_wait :
+  arrival_rate:float -> mean_service:float -> second_moment:float -> float
+
+val mg1_mean_response :
+  arrival_rate:float -> mean_service:float -> second_moment:float -> float
+
+(** Expected per-query loss (vs ideal) of a stepwise SLA under the
+    M/M/m FCFS response distribution. *)
+val expected_sla_loss :
+  Sla.t -> servers:int -> arrival_rate:float -> service_rate:float -> float

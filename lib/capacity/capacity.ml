@@ -1,0 +1,51 @@
+(* Capacity planning (paper Secs 6.3, 7.4): estimate the per-query
+   profit margin of adding one server, without actually adding it.
+
+   While the system runs with SLA-tree dispatching, every arrival
+   reports g_i, the best insertion profit among real servers. We also
+   compute g_0, the profit the query would earn on a fictitious idle
+   server. Accumulating (g_0 - g_i) over the measured window
+   approximates the profit a new server would add. The ground truth
+   replays the identical trace with n and n+1 servers. *)
+
+type estimate = {
+  est_margin_per_query : float;  (** mean (g0 - gi) over measured queries *)
+  avg_loss : float;  (** avg profit loss of the n-server run *)
+  measured : int;
+}
+
+(* One run with [n_servers] and SLA-tree dispatching over [planner]-
+   ordered buffers, returning the run metrics and the margin
+   accumulator. [warmup_id] bounds the measured window. *)
+let run_with_estimation ~queries ~n_servers ~planner ~scheduler ~warmup_id =
+  let metrics = Metrics.create ~warmup_id in
+  let margin = Stats.create () in
+  let dispatch = Dispatchers.instantiate (Dispatchers.sla_tree planner) in
+  let on_dispatch ~now q (d : Sim.decision) =
+    match d.est_delta with
+    | Some gi when q.Query.id >= warmup_id ->
+      let g0 = What_if.idle_server_profit ~now q in
+      Stats.add margin (g0 -. gi)
+    | Some _ | None -> ()
+  in
+  Sim.run ~on_dispatch ~queries ~n_servers ~pick_next:(Schedulers.pick scheduler)
+    ~dispatch ~metrics ();
+  ( metrics,
+    {
+      est_margin_per_query = Stats.mean margin;
+      avg_loss = Metrics.avg_loss metrics;
+      measured = Stats.count margin;
+    } )
+
+(* Ground truth (Sec 7.4): same trace, n vs n+1 servers; the margin is
+   the gain in average per-query profit, i.e. the drop in average
+   per-query loss. *)
+let ground_truth ~queries ~n_servers ~planner ~scheduler ~warmup_id =
+  let run m =
+    let metrics = Metrics.create ~warmup_id in
+    let dispatch = Dispatchers.instantiate (Dispatchers.sla_tree planner) in
+    Sim.run ~queries ~n_servers:m ~pick_next:(Schedulers.pick scheduler)
+      ~dispatch ~metrics ();
+    Metrics.avg_profit metrics
+  in
+  run (n_servers + 1) -. run n_servers

@@ -1,0 +1,30 @@
+(** Capacity planning (paper Secs 6.3, 7.4): per-query profit margin of
+    one additional server, estimated online from the fictitious-idle-
+    server what-if, and its replay-based ground truth. *)
+
+type estimate = {
+  est_margin_per_query : float;
+      (** mean (g0 - gi) over the measured window *)
+  avg_loss : float;  (** avg per-query loss of the n-server run *)
+  measured : int;
+}
+
+(** Run the system with SLA-tree dispatching and accumulate the margin
+    estimate alongside normal metrics. *)
+val run_with_estimation :
+  queries:Query.t array ->
+  n_servers:int ->
+  planner:Planner.t ->
+  scheduler:Schedulers.t ->
+  warmup_id:int ->
+  Metrics.t * estimate
+
+(** Replay the identical trace with [n_servers] and [n_servers + 1]
+    servers; returns the difference in average per-query profit. *)
+val ground_truth :
+  queries:Query.t array ->
+  n_servers:int ->
+  planner:Planner.t ->
+  scheduler:Schedulers.t ->
+  warmup_id:int ->
+  float

@@ -1,0 +1,279 @@
+(* Incremental SLA-tree — the paper's stated future work (Sec 9).
+
+   The static SLA-tree must be rebuilt from scratch whenever the buffer
+   or the schedule changes. Three observations make the common FCFS
+   life cycle (head executes; new queries append at the tail)
+   incremental:
+
+   1. POP IS FREE. Executing the head leaves every other query's
+      scheduled start unchanged (when the execution takes exactly its
+      estimate), so the stored slacks stay valid; we only narrow the
+      live id range, which the prefix questions support natively.
+
+   2. DRIFT IS A QUERY SHIFT, NOT AN UPDATE. When an execution takes
+      [actual] instead of [estimated], every remaining start shifts by
+      the same [actual - estimated]. The whole live buffer therefore
+      sits on a fixed *planned* timeline plus one scalar [delay]; a
+      unit with stored (planned) slack [s] has true slack [s - delay],
+      and the uniform shift moves into the *question* instead of the
+      tree:
+
+        postpone counts  0 <= s - delay < tau
+          -> S+ gives  Lt(tau + delay) - Lt(delay)
+             S- gives  Le(-delay) - Le(-delay - tau)   (units whose
+             lateness the drift erased, when delay < 0)
+        expedite counts  0 < t + delay <= tau  for S- tardiness t,
+          plus S+ units the drift made late:
+          -> S- gives  Le(tau - delay) - Le(-delay)
+             S+ gives  Lt(delay) - Lt(delay - tau)
+
+   3. APPENDS ARE LOCAL. A query appended at the tail postpones nobody;
+      its units go to a small pending overflow on the same planned
+      timeline, scanned naively, and a full rebuild happens only when
+      the overflow outgrows a fraction of the live buffer — classic
+      lazy-rebuild amortization.
+
+   Amortized costs: pop O(1); append O(K) amortized (rebuild cost
+   spread over the appends that caused it); each question
+   O(log NK + BK) where B is the bounded overflow size. *)
+
+type pending_unit = { p_slack : float; p_gain : float }
+(* Planned-timeline slack of one unit of a pending query; negative
+   means tardiness. True slack = p_slack - delay, like the trees. *)
+
+type t = {
+  mutable slack_tree : Cascade_tree.t;
+  mutable tardy_tree : Cascade_tree.t;
+  mutable base_entries : Schedule.entry array;  (** planned starts *)
+  mutable head : int;  (** base entries [0 .. head-1] already executed *)
+  mutable delay : float;  (** true time = planned time + delay *)
+  mutable pending : (Query.t * pending_unit list) list;  (** newest first *)
+  mutable pending_n : int;
+  mutable tail_time : float;  (** planned end of the current schedule *)
+  mutable rebuilds : int;
+}
+
+let live_base t = Array.length t.base_entries - t.head
+let length t = live_base t + t.pending_n
+let rebuild_count t = t.rebuilds
+let pending_count t = t.pending_n
+let delay t = t.delay
+
+let units_of_query query ~start =
+  let entry = { Schedule.query; start } in
+  let comps, _ = Sla.decompose query.Query.sla in
+  List.map
+    (fun { Sla.comp_bound; comp_gain } ->
+      { p_slack = Schedule.slack entry ~bound:comp_bound; p_gain = comp_gain })
+    comps
+
+(* The current live schedule with true starts — also the oracle the
+   test suite compares against. *)
+let to_entries t =
+  let base =
+    Array.sub t.base_entries t.head (live_base t)
+    |> Array.map (fun e -> { e with Schedule.start = e.Schedule.start +. t.delay })
+  in
+  let tail_start =
+    if Array.length base > 0 then Schedule.completion base.(Array.length base - 1)
+    else t.tail_time +. t.delay
+  in
+  let rec starts acc time = function
+    | [] -> List.rev acc
+    | q :: rest ->
+      starts ({ Schedule.query = q; start = time } :: acc)
+        (time +. q.Query.est_size)
+        rest
+  in
+  let pending = List.rev_map (fun (q, _) -> q) t.pending in
+  Array.append base (Array.of_list (starts [] tail_start pending))
+
+(* Rebuild both trees over the true-start live schedule; the planned
+   timeline is re-anchored to the true one (delay returns to 0). *)
+let rebuild t =
+  let entries = to_entries t in
+  let units = Slack_units.of_schedule entries in
+  let pos, neg = Slack_units.partition units in
+  (* Compute the new (true) tail before resetting [delay], which the
+     empty-buffer case still needs. *)
+  let tail_time =
+    if Array.length entries > 0 then
+      Schedule.completion entries.(Array.length entries - 1)
+    else t.tail_time +. t.delay
+  in
+  t.slack_tree <- Cascade_tree.build pos;
+  t.tardy_tree <- Cascade_tree.build neg;
+  t.base_entries <- entries;
+  t.head <- 0;
+  t.delay <- 0.0;
+  t.pending <- [];
+  t.pending_n <- 0;
+  t.tail_time <- tail_time;
+  t.rebuilds <- t.rebuilds + 1
+
+let create ~now queries =
+  let entries = Schedule.of_queries ~now queries in
+  let units = Slack_units.of_schedule entries in
+  let pos, neg = Slack_units.partition units in
+  {
+    slack_tree = Cascade_tree.build pos;
+    tardy_tree = Cascade_tree.build neg;
+    base_entries = entries;
+    head = 0;
+    delay = 0.0;
+    pending = [];
+    pending_n = 0;
+    tail_time =
+      (if Array.length entries > 0 then
+         Schedule.completion entries.(Array.length entries - 1)
+       else now);
+    rebuilds = 0;
+  }
+
+let maybe_rebuild t =
+  let live = length t in
+  if
+    t.pending_n > max 8 (live / 2)
+    || t.head > max 16 (Array.length t.base_entries / 2)
+  then rebuild t
+
+(* FCFS arrival: the query starts when the current schedule ends. *)
+let append t query =
+  let start = t.tail_time in
+  t.pending <- (query, units_of_query query ~start) :: t.pending;
+  t.pending_n <- t.pending_n + 1;
+  t.tail_time <- start +. query.Query.est_size;
+  maybe_rebuild t
+
+(* The head of the buffer was executed, taking [actual] time (defaults
+   to its estimate). Everything downstream shifts by the difference. *)
+let rec pop_head ?actual t =
+  if length t = 0 then invalid_arg "Incr_sla_tree.pop_head: empty buffer";
+  if live_base t = 0 then begin
+    (* Only pending queries left: promote them, then pop for real. *)
+    rebuild t;
+    pop_head ?actual t
+  end
+  else begin
+    let e = t.base_entries.(t.head) in
+    let est = e.Schedule.query.Query.est_size in
+    let actual = Option.value actual ~default:est in
+    t.head <- t.head + 1;
+    t.delay <- t.delay +. (actual -. est);
+    if length t = 0 then begin
+      (* Drained: re-anchor the planned timeline at the true instant
+         the server became free. *)
+      t.base_entries <- [||];
+      t.head <- 0;
+      t.tail_time <- e.Schedule.start +. est +. t.delay;
+      t.delay <- 0.0
+    end
+    else maybe_rebuild t
+  end
+
+(* The server idled past the schedule's end (a gap in arrivals): the
+   next query starts at [now] instead. Only meaningful when empty. *)
+let reset_origin t ~now =
+  if length t > 0 then
+    invalid_arg "Incr_sla_tree.reset_origin: buffer must be empty";
+  if now < t.tail_time then
+    invalid_arg "Incr_sla_tree.reset_origin: time cannot move backwards";
+  t.tail_time <- now
+
+let check_range t ~m ~n =
+  let len = length t in
+  if m < 0 || n >= len || m > n then
+    invalid_arg
+      (Printf.sprintf "Incr_sla_tree: bad range [%d, %d] for %d queries" m n len)
+
+(* Delay-shifted prefix questions over base ids <= [abs_id]. Popped
+   ids (< head) are excluded by subtracting their prefix. *)
+let base_prefix mode_sum t ~abs_id =
+  if abs_id < t.head then 0.0
+  else begin
+    let at id = if id < 0 then 0.0 else mode_sum id in
+    at abs_id -. at (t.head - 1)
+  end
+
+let base_prefix_postpone t ~abs_id ~tau =
+  let d = t.delay in
+  base_prefix
+    (fun id ->
+      let lt x = Cascade_tree.prefix_loss t.slack_tree Cascade_tree.Lt ~n:id ~tau:x in
+      let le x = Cascade_tree.prefix_loss t.tardy_tree Cascade_tree.Le ~n:id ~tau:x in
+      lt (tau +. d) -. lt d +. (le (-.d) -. le (-.d -. tau)))
+    t ~abs_id
+
+let base_prefix_expedite t ~abs_id ~tau =
+  let d = t.delay in
+  base_prefix
+    (fun id ->
+      let lt x = Cascade_tree.prefix_loss t.slack_tree Cascade_tree.Lt ~n:id ~tau:x in
+      let le x = Cascade_tree.prefix_loss t.tardy_tree Cascade_tree.Le ~n:id ~tau:x in
+      le (tau -. d) -. le (-.d) +. (lt d -. lt (d -. tau)))
+    t ~abs_id
+
+(* Scan the pending overflow for pending positions [lo .. hi] (arrival
+   order). *)
+let pending_scan t ~lo ~hi ~f =
+  let arr = Array.of_list (List.rev t.pending) in
+  let acc = ref 0.0 in
+  for i = lo to hi do
+    let _, units = arr.(i) in
+    List.iter (fun u -> acc := !acc +. f u) units
+  done;
+  !acc
+
+let postpone t ~m ~n ~tau =
+  check_range t ~m ~n;
+  if tau < 0.0 then invalid_arg "Incr_sla_tree.postpone: negative tau";
+  if tau = 0.0 then 0.0
+  else begin
+    let lb = live_base t in
+    let d = t.delay in
+    let base_part =
+      if m >= lb then 0.0
+      else begin
+        let hi = min n (lb - 1) in
+        base_prefix_postpone t ~abs_id:(t.head + hi) ~tau
+        -.
+        (if m = 0 then 0.0
+         else base_prefix_postpone t ~abs_id:(t.head + m - 1) ~tau)
+      end
+    in
+    let pend_part =
+      if n < lb then 0.0
+      else
+        pending_scan t ~lo:(max 0 (m - lb)) ~hi:(n - lb) ~f:(fun u ->
+            let s = u.p_slack -. d in
+            if s >= 0.0 && s < tau then u.p_gain else 0.0)
+    in
+    base_part +. pend_part
+  end
+
+let expedite t ~m ~n ~tau =
+  check_range t ~m ~n;
+  if tau < 0.0 then invalid_arg "Incr_sla_tree.expedite: negative tau";
+  if tau = 0.0 then 0.0
+  else begin
+    let lb = live_base t in
+    let d = t.delay in
+    let base_part =
+      if m >= lb then 0.0
+      else begin
+        let hi = min n (lb - 1) in
+        base_prefix_expedite t ~abs_id:(t.head + hi) ~tau
+        -.
+        (if m = 0 then 0.0
+         else base_prefix_expedite t ~abs_id:(t.head + m - 1) ~tau)
+      end
+    in
+    let pend_part =
+      if n < lb then 0.0
+      else
+        pending_scan t ~lo:(max 0 (m - lb)) ~hi:(n - lb) ~f:(fun u ->
+            let s = u.p_slack -. d in
+            if s < 0.0 && -.s <= tau then u.p_gain else 0.0)
+    in
+    base_part +. pend_part
+  end

@@ -1,0 +1,81 @@
+(* The SLA-tree facade: a slack tree S+ and a tardiness tree S- over an
+   ordered, scheduled query buffer, answering the paper's two key
+   questions (Sec 3.1):
+
+     postpone(m, n, tau): profit lost if queries m..n (0-based,
+       inclusive) are postponed by tau;
+     expedite(m, n, tau): profit gained if queries m..n are expedited
+       by tau.
+
+   Both use the additive property postpone(m,n,t) = postpone(0,n,t) -
+   postpone(0,m-1,t) and cost O(log NK) after the O(NK log NK) build. *)
+
+type t = {
+  entries : Schedule.entry array;
+  slack_tree : Cascade_tree.t;
+  tardy_tree : Cascade_tree.t;
+  now : float;
+}
+
+let of_entries ~now entries =
+  let units = Slack_units.of_schedule entries in
+  let slack_units, tardy_units = Slack_units.partition units in
+  {
+    entries;
+    slack_tree = Cascade_tree.build slack_units;
+    tardy_tree = Cascade_tree.build tardy_units;
+    now;
+  }
+
+let build ~now queries = of_entries ~now (Schedule.of_queries ~now queries)
+
+let length t = Array.length t.entries
+let now t = t.now
+let entries t = t.entries
+
+let entry t i =
+  if i < 0 || i >= Array.length t.entries then
+    invalid_arg "Sla_tree.entry: index out of bounds";
+  t.entries.(i)
+
+let unit_counts t =
+  (Cascade_tree.unit_count t.slack_tree, Cascade_tree.unit_count t.tardy_tree)
+
+let check_range t ~m ~n =
+  let len = Array.length t.entries in
+  if m < 0 || n >= len || m > n then
+    invalid_arg
+      (Printf.sprintf "Sla_tree: bad range [%d, %d] for %d queries" m n len)
+
+let prefix tree mode ~n ~tau =
+  if n < 0 then 0.0 else Cascade_tree.prefix_loss tree mode ~n ~tau
+
+let postpone t ~m ~n ~tau =
+  check_range t ~m ~n;
+  if tau < 0.0 then invalid_arg "Sla_tree.postpone: tau must be non-negative";
+  if tau = 0.0 then 0.0
+  else
+    prefix t.slack_tree Cascade_tree.Lt ~n ~tau
+    -. prefix t.slack_tree Cascade_tree.Lt ~n:(m - 1) ~tau
+
+let expedite t ~m ~n ~tau =
+  check_range t ~m ~n;
+  if tau < 0.0 then invalid_arg "Sla_tree.expedite: tau must be non-negative";
+  if tau = 0.0 then 0.0
+  else
+    prefix t.tardy_tree Cascade_tree.Le ~n ~tau
+    -. prefix t.tardy_tree Cascade_tree.Le ~n:(m - 1) ~tau
+
+(* Profit currently at stake (still earnable) among queries 0..n: the
+   gains of all their on-time units. *)
+let profit_at_stake t ~n =
+  if n < 0 then 0.0 else Cascade_tree.prefix_total t.slack_tree ~n
+
+let total_profit_at_stake t = Cascade_tree.total t.slack_tree
+
+(* Profit already forfeited (late units) among queries 0..n that could
+   in principle be recovered by expediting. *)
+let recoverable_profit t ~n =
+  if n < 0 then 0.0 else Cascade_tree.prefix_total t.tardy_tree ~n
+
+let total_recoverable_profit t = Cascade_tree.total t.tardy_tree

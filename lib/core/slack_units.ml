@@ -1,0 +1,35 @@
+(* Expansion of buffered queries into g/0 units (paper Sec 4.2).
+
+   Each SLA level contributes one unit: the unit's gain is lost exactly
+   when its level deadline is missed. Units with non-negative slack
+   feed the slack tree S+; units with negative slack feed the tardiness
+   tree S- (with the sign reversed). *)
+
+type t = {
+  uid : int;  (** position of the owning query in the buffer order *)
+  slack : float;  (** deadline minus scheduled completion; may be < 0 *)
+  gain : float;  (** profit at stake for this unit; > 0 *)
+}
+
+let of_schedule entries =
+  let units = ref [] in
+  Array.iteri
+    (fun pos entry ->
+      let comps, _offset = Sla.decompose entry.Schedule.query.Query.sla in
+      List.iter
+        (fun { Sla.comp_bound; comp_gain } ->
+          let slack = Schedule.slack entry ~bound:comp_bound in
+          units := { uid = pos; slack; gain = comp_gain } :: !units)
+        comps)
+    entries;
+  Array.of_list (List.rev !units)
+
+let partition units =
+  let pos = ref [] and neg = ref [] in
+  (* Iterate right-to-left so the accumulated lists preserve order. *)
+  for i = Array.length units - 1 downto 0 do
+    let u = units.(i) in
+    if u.slack >= 0.0 then pos := u :: !pos
+    else neg := { u with slack = -.u.slack } :: !neg
+  done;
+  (Array.of_list !pos, Array.of_list !neg)

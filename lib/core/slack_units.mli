@@ -1,0 +1,19 @@
+(** Expansion of an ordered, scheduled buffer into g/0 units.
+
+    The general-SLA handling of the paper (Sec 4) reduces every query to
+    at most [K] units, each a (buffer position, slack, gain) triple. *)
+
+type t = {
+  uid : int;  (** position of the owning query in the buffer order *)
+  slack : float;  (** deadline minus scheduled completion; may be < 0 *)
+  gain : float;  (** profit at stake; > 0 by construction *)
+}
+
+(** One unit per positive-gain SLA component of every scheduled query,
+    in buffer order then level order. *)
+val of_schedule : Schedule.entry array -> t array
+
+(** [partition units] splits into (slack units, tardiness units); the
+    second component has the sign of [slack] flipped so both arrays
+    carry non-negative keys. *)
+val partition : t array -> t array * t array

@@ -1,0 +1,118 @@
+(* Dispatchers: concrete [Sim.dispatch] values (paper Secs 2.3, 6.2).
+
+   Round-Robin and LWL are the profit-unaware baselines; the SLA-tree
+   dispatcher asks every server the what-if question "what is your
+   profit delta if this query joins your buffer?" and picks the
+   argmax. *)
+
+type t = { name : string; make : unit -> Sim.dispatch }
+
+let name t = t.name
+
+(* Each run gets a fresh closure so stateful dispatchers (Round-Robin's
+   counter) do not leak state across repeats. *)
+let instantiate t = t.make ()
+
+(* Constructor for dispatchers defined outside this module (SITA and
+   friends). *)
+let v ~name make = { name; make }
+
+(* Uniformly random server — the weakest sensible baseline. *)
+let random ~seed =
+  {
+    name = "Random";
+    make =
+      (fun () ->
+        let rng = Prng.create seed in
+        fun sim _q ->
+          { Sim.target = Some (Prng.int rng (Sim.n_servers sim)); est_delta = None });
+  }
+
+let round_robin =
+  {
+    name = "RR";
+    make =
+      (fun () ->
+        let next = ref 0 in
+        fun sim _q ->
+          let m = Sim.n_servers sim in
+          let sid = !next mod m in
+          next := (sid + 1) mod m;
+          { Sim.target = Some sid; est_delta = None });
+  }
+
+(* Least-work-left: the server with the smallest estimated backlog. *)
+let lwl =
+  {
+    name = "LWL";
+    make =
+      (fun () sim _q ->
+        let m = Sim.n_servers sim in
+        let best = ref 0 and best_work = ref infinity in
+        for sid = 0 to m - 1 do
+          let w = Sim.est_work_left sim (Sim.server sim sid) in
+          if w < !best_work then begin
+            best := sid;
+            best_work := w
+          end
+        done;
+        { Sim.target = Some !best; est_delta = None });
+  }
+
+(* Profit delta of adding [q] to server [sid], whose scheduler plans
+   with [planner]: build the SLA-tree over the server's planned buffer
+   (anchored at its estimated free time) and evaluate the insertion
+   at the rank the planner would give the newcomer (Sec 6.2).
+
+   Heterogeneous farms (the paper's explicit claim: "the potential
+   impact ... is computed based on the execution time of q on Si"):
+   each server sees execution times scaled by its own speed, so the
+   what-if is evaluated on speed-adjusted copies of the queries. *)
+let insertion_profit planner sim sid q =
+  let srv = Sim.server sim sid in
+  let speed = srv.Sim.speed in
+  let scale query =
+    if speed = 1.0 then query
+    else
+      Query.make ~id:query.Query.id ~arrival:query.Query.arrival
+        ~size:query.Query.size
+        ~est_size:(query.Query.est_size /. speed)
+        ~sla:query.Query.sla ()
+  in
+  let free_at = Sim.est_free_at sim srv in
+  let buffer = Sim.buffer_array srv in
+  let planned =
+    Array.map scale (Planner.planned_queries planner ~now:(Sim.now sim) buffer)
+  in
+  let tree = Sla_tree.of_entries ~now:free_at (Schedule.of_queries ~now:free_at planned) in
+  let q' = scale q in
+  let pos = Planner.insertion_rank planner ~now:(Sim.now sim) planned q' in
+  What_if.insertion_delta tree ~query:q' ~pos
+
+(* SLA-tree dispatching. Profit decides; exact profit ties (common
+   when every candidate server meets the query's deadline anyway) fall
+   back to least work left, so indifference does not pile queries onto
+   server 0. With [admission] set, a query whose best profit delta is
+   negative is rejected outright. *)
+let sla_tree ?(admission = false) planner =
+  {
+    name = (if admission then "SLA-tree+AC" else "SLA-tree");
+    make =
+      (fun () sim q ->
+        let m = Sim.n_servers sim in
+        let best = ref 0
+        and best_delta = ref neg_infinity
+        and best_work = ref infinity in
+        for sid = 0 to m - 1 do
+          let d = insertion_profit planner sim sid q in
+          let w = Sim.est_work_left sim (Sim.server sim sid) in
+          if d > !best_delta || (d = !best_delta && w < !best_work) then begin
+            best := sid;
+            best_delta := d;
+            best_work := w
+          end
+        done;
+        if admission && !best_delta < 0.0 then
+          { Sim.target = None; est_delta = Some !best_delta }
+        else { Sim.target = Some !best; est_delta = Some !best_delta });
+  }

@@ -1,0 +1,31 @@
+(** Dispatchers: named [Sim.dispatch] factories (paper Secs 2.3, 6.2).
+
+    [instantiate] returns a fresh closure per run so stateful policies
+    don't leak state across repeats. *)
+
+type t
+
+val name : t -> string
+val instantiate : t -> Sim.dispatch
+
+(** Constructor for dispatchers defined in other modules. *)
+val v : name:string -> (unit -> Sim.dispatch) -> t
+
+(** Uniformly random server. *)
+val random : seed:int -> t
+
+(** Cycle through servers. *)
+val round_robin : t
+
+(** Least-work-left: smallest estimated backlog wins. *)
+val lwl : t
+
+(** Profit delta of inserting [q] into server [sid]'s buffer as planned
+    by [planner] (exposed for tests and capacity planning). *)
+val insertion_profit : Planner.t -> Sim.t -> int -> Query.t -> float
+
+(** SLA-tree dispatching: argmax of {!insertion_profit} over servers
+    (exact profit ties fall back to least work left); reports the
+    chosen delta through [est_delta]. With [admission], queries whose
+    best delta is negative are rejected. *)
+val sla_tree : ?admission:bool -> Planner.t -> t

@@ -1,0 +1,33 @@
+(** Shared experiment plumbing: the evaluation's policy sets and
+    repeat-averaged runs. *)
+
+type sched_kind = Fcfs | Fcfs_tree | Cbs | Cbs_tree
+
+val sched_name : sched_kind -> string
+
+(** 1 / (mean execution time) of the workload. *)
+val cbs_rate : Workloads.kind -> float
+
+val scheduler_of : sched_kind -> Workloads.kind -> Schedulers.t
+
+(** The three dispatching rows of Table 3 (scheduler fixed per row). *)
+type disp_kind = Lwl_cbs | Lwl_tree_sched | Tree_tree
+
+val disp_name : disp_kind -> string
+val dispatch_setup : disp_kind -> Workloads.kind -> Dispatchers.t * Schedulers.t
+
+val run_once :
+  trace_cfg:Trace.config ->
+  n_servers:int ->
+  scheduler:Schedulers.t ->
+  dispatcher:Dispatchers.t ->
+  warmup_id:int ->
+  Metrics.t
+
+val avg_loss_over_repeats :
+  Exp_scale.t ->
+  make_trace_cfg:(seed:int -> Trace.config) ->
+  n_servers:int ->
+  scheduler:Schedulers.t ->
+  dispatcher:Dispatchers.t ->
+  float

@@ -1,0 +1,48 @@
+(* Experiment scale. The paper runs 20k queries (10k warm-up) with 10
+   repeats per cell (Sec 7.1). That is minutes of wall clock for the
+   full table sweep, so the default here is a reduced-but-faithful
+   scale; set SLATREE_SCALE=paper to reproduce the original protocol,
+   or SLATREE_SCALE=smoke for CI-sized runs. *)
+
+type t = {
+  n_queries : int;  (** per run, warm-up included *)
+  warmup : int;  (** queries excluded from measurement *)
+  repeats : int;  (** independent seeds averaged per cell *)
+  base_seed : int;
+}
+
+let paper = { n_queries = 20_000; warmup = 10_000; repeats = 10; base_seed = 20110322 }
+let default = { n_queries = 6_000; warmup = 3_000; repeats = 3; base_seed = 20110322 }
+let smoke = { n_queries = 800; warmup = 400; repeats = 2; base_seed = 20110322 }
+
+let of_string = function
+  | "paper" -> Some paper
+  | "default" -> Some default
+  | "smoke" -> Some smoke
+  | s -> begin
+    (* An integer selects n_queries directly (half of it warms up). *)
+    match int_of_string_opt s with
+    | Some n when n >= 10 ->
+      Some { n_queries = n; warmup = n / 2; repeats = 3; base_seed = 20110322 }
+    | Some _ | None -> None
+  end
+
+let name t =
+  if t = paper then "paper"
+  else if t = default then "default"
+  else if t = smoke then "smoke"
+  else Printf.sprintf "custom(n=%d)" t.n_queries
+
+let from_env () =
+  match Sys.getenv_opt "SLATREE_SCALE" with
+  | None -> default
+  | Some s -> begin
+    match of_string s with
+    | Some t -> t
+    | None ->
+      Printf.eprintf "SLATREE_SCALE=%s not understood; using default\n%!" s;
+      default
+  end
+
+(* Per-repeat seed, deterministic in (base_seed, repeat index). *)
+let seed t ~repeat = t.base_seed + (repeat * 7919)

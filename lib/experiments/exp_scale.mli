@@ -1,0 +1,23 @@
+(** Experiment scale control.
+
+    [paper] matches Sec 7.1 (20k queries, 10k warm-up, 10 repeats);
+    [default] is a faithful but faster sweep; [smoke] is CI-sized.
+    Override with the SLATREE_SCALE environment variable
+    ("paper" | "default" | "smoke" | an integer query count). *)
+
+type t = {
+  n_queries : int;
+  warmup : int;
+  repeats : int;
+  base_seed : int;
+}
+
+val paper : t
+val default : t
+val smoke : t
+val of_string : string -> t option
+val name : t -> string
+val from_env : unit -> t
+
+(** Deterministic per-repeat seed. *)
+val seed : t -> repeat:int -> int

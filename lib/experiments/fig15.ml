@@ -1,0 +1,72 @@
+(* Figure 15 (Sec 7.1): histograms of query execution times for the
+   Exp and Pareto workloads (the Pareto panel is log-scaled), plus the
+   SSBM input table (Table 1). *)
+
+let default_samples = 100_000
+
+type result = {
+  exp_hist : Histogram.t;
+  pareto_hist : Histogram.t;
+  exp_mean : float;
+  pareto_mean : float;
+}
+
+let compute ?(samples = default_samples) ~seed () =
+  let rng = Prng.create seed in
+  let rng_exp = Prng.split rng and rng_par = Prng.split rng in
+  let exp_dist = Workloads.dist Workloads.Exp in
+  let par_dist = Workloads.dist Workloads.Pareto in
+  let exp_hist =
+    Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:200.0 ~bins:25
+  in
+  let pareto_hist =
+    Histogram.create ~scale:Histogram.Log10 ~lo:1.0 ~hi:1e6 ~bins:24
+  in
+  let exp_stats = Stats.create () and par_stats = Stats.create () in
+  for _ = 1 to samples do
+    let x = Service_dist.sample exp_dist rng_exp in
+    Histogram.add exp_hist x;
+    Stats.add exp_stats x;
+    let y = Service_dist.sample par_dist rng_par in
+    Histogram.add pareto_hist y;
+    Stats.add par_stats y
+  done;
+  {
+    exp_hist;
+    pareto_hist;
+    exp_mean = Stats.mean exp_stats;
+    pareto_mean = Stats.mean par_stats;
+  }
+
+(* Write gnuplot-ready data files: one row per bin with its bounds and
+   count. *)
+let write_dat ~dir name hist =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# bin_lo bin_hi count\n";
+      Array.iteri
+        (fun i c ->
+          let lo, hi = Histogram.bin_bounds hist i in
+          Printf.fprintf oc "%.17g %.17g %d\n" lo hi c)
+        (Histogram.counts hist));
+  path
+
+let export ?(samples = default_samples) ~dir ~seed () =
+  let r = compute ~samples ~seed () in
+  [ write_dat ~dir "fig15_exp.dat" r.exp_hist;
+    write_dat ~dir "fig15_pareto.dat" r.pareto_hist ]
+
+let run ?(samples = default_samples) ppf ~seed () =
+  let r = compute ~samples ~seed () in
+  Fmt.pf ppf "@.=== Figure 15: query execution time histograms (%d samples) ===@."
+    samples;
+  Fmt.pf ppf "@.Exp workload (mean %.2f ms; linear bins, ms):@." r.exp_mean;
+  Histogram.render ppf r.exp_hist;
+  Fmt.pf ppf "@.Pareto workload (sample mean %.2f ms; log10 bins, ms):@."
+    r.pareto_mean;
+  Histogram.render ppf r.pareto_hist;
+  Fmt.pf ppf "@.";
+  Ssbm.pp_table ppf ()

@@ -1,0 +1,18 @@
+(** Figure 15 (Sec 7.1): execution-time histograms for the Exp and
+    Pareto workloads; also prints the SSBM table (Table 1). *)
+
+val default_samples : int
+
+type result = {
+  exp_hist : Histogram.t;
+  pareto_hist : Histogram.t;
+  exp_mean : float;
+  pareto_mean : float;
+}
+
+val compute : ?samples:int -> seed:int -> unit -> result
+
+(** Write gnuplot-ready [.dat] files into [dir]; returns the paths. *)
+val export : ?samples:int -> dir:string -> seed:int -> unit -> string list
+
+val run : ?samples:int -> Format.formatter -> seed:int -> unit -> unit

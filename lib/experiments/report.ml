@@ -1,0 +1,59 @@
+(* Fixed-width table rendering for the experiment reports, mimicking
+   the paper's row/column layout. *)
+
+type t = {
+  title : string;
+  col_groups : (string * string list) list;
+      (** (group header, sub headers), e.g. ("Exp", ["0.5"; "0.7"; "0.9"]) *)
+  rows : (string * float array) list;
+}
+
+let n_cols t = List.fold_left (fun acc (_, subs) -> acc + List.length subs) 0 t.col_groups
+
+let cell_width = 8
+let label_width = 22
+
+let pad s w =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+let center s w =
+  let n = String.length s in
+  if n >= w then s
+  else begin
+    let left = (w - n) / 2 in
+    String.make left ' ' ^ s ^ String.make (w - n - left) ' '
+  end
+
+let render ppf t =
+  let total = n_cols t in
+  Fmt.pf ppf "@.=== %s ===@." t.title;
+  (* Group header line. *)
+  Fmt.pf ppf "%s" (pad "" label_width);
+  List.iter
+    (fun (group, subs) ->
+      let w = cell_width * List.length subs in
+      Fmt.pf ppf "%s" (center group w))
+    t.col_groups;
+  Fmt.pf ppf "@.";
+  (* Sub header line. *)
+  Fmt.pf ppf "%s" (pad "" label_width);
+  List.iter
+    (fun (_, subs) -> List.iter (fun s -> Fmt.pf ppf "%s" (center s cell_width)) subs)
+    t.col_groups;
+  Fmt.pf ppf "@.%s@." (String.make (label_width + (cell_width * total)) '-');
+  List.iter
+    (fun (label, cells) ->
+      Fmt.pf ppf "%s" (pad label label_width);
+      Array.iter
+        (fun v ->
+          let s =
+            if Float.is_nan v then "-"
+            else if Float.abs v < 10.0 then Printf.sprintf "%.3f" v
+            else Printf.sprintf "%.1f" v
+          in
+          Fmt.pf ppf "%s" (center s cell_width))
+        cells;
+      Fmt.pf ppf "@.")
+    t.rows;
+  Fmt.pf ppf "@."

@@ -1,0 +1,11 @@
+(** Fixed-width table rendering in the paper's layout. *)
+
+type t = {
+  title : string;
+  col_groups : (string * string list) list;
+      (** (group header, sub-column headers) *)
+  rows : (string * float array) list;
+}
+
+val n_cols : t -> int
+val render : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+(* Table 2 (Sec 7.2): scheduling — average profit loss per query for
+   FCFS, FCFS+SLA-tree, CBS and CBS+SLA-tree on one server, across
+   workloads {Exp, Pareto, SSBM}, loads {0.5, 0.7, 0.9} and SLA
+   profiles {SLA-A, SLA-B}. *)
+
+let default_loads = [ 0.5; 0.7; 0.9 ]
+
+let schedulers =
+  [ Exp_common.Fcfs; Exp_common.Fcfs_tree; Exp_common.Cbs; Exp_common.Cbs_tree ]
+
+type cell = {
+  profile : Workloads.sla_profile;
+  kind : Workloads.kind;
+  load : float;
+  sched : Exp_common.sched_kind;
+  avg_loss : float;
+}
+
+let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
+    ?(loads = default_loads) (scale : Exp_scale.t) =
+  List.concat_map
+    (fun profile ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun load ->
+              List.map
+                (fun sched ->
+                  let make_trace_cfg ~seed =
+                    Trace.config ~kind ~profile ~load ~servers:1
+                      ~n_queries:scale.n_queries ~seed ()
+                  in
+                  let avg_loss =
+                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+                      ~n_servers:1
+                      ~scheduler:(Exp_common.scheduler_of sched kind)
+                      ~dispatcher:Dispatchers.round_robin
+                  in
+                  { profile; kind; load; sched; avg_loss })
+                schedulers)
+            loads)
+        kinds)
+    profiles
+
+let to_report ?(loads = default_loads) cells =
+  let col_groups =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun kind ->
+            ( Workloads.profile_name profile ^ " " ^ Workloads.kind_name kind,
+              List.map (Printf.sprintf "%.1f") loads ))
+          Workloads.all_kinds)
+      Workloads.all_profiles
+  in
+  let rows =
+    List.map
+      (fun sched ->
+        let cells_for =
+          List.concat_map
+            (fun profile ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun load ->
+                      match
+                        List.find_opt
+                          (fun c ->
+                            c.profile = profile && c.kind = kind
+                            && c.load = load && c.sched = sched)
+                          cells
+                      with
+                      | Some c -> c.avg_loss
+                      | None -> Float.nan)
+                    loads)
+                Workloads.all_kinds)
+            Workloads.all_profiles
+        in
+        (Exp_common.sched_name sched, Array.of_list cells_for))
+      schedulers
+  in
+  {
+    Report.title = "Table 2: scheduling, average profit loss per query";
+    col_groups;
+    rows;
+  }
+
+let run ppf scale =
+  let cells = compute scale in
+  Report.render ppf (to_report cells)

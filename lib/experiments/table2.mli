@@ -1,0 +1,24 @@
+(** Table 2 (Sec 7.2): scheduling comparison — average profit loss per
+    query for FCFS, FCFS+SLA-tree, CBS and CBS+SLA-tree. *)
+
+val default_loads : float list
+val schedulers : Exp_common.sched_kind list
+
+type cell = {
+  profile : Workloads.sla_profile;
+  kind : Workloads.kind;
+  load : float;
+  sched : Exp_common.sched_kind;
+  avg_loss : float;
+}
+
+(** Full (or restricted) sweep; one cell per combination. *)
+val compute :
+  ?profiles:Workloads.sla_profile list ->
+  ?kinds:Workloads.kind list ->
+  ?loads:float list ->
+  Exp_scale.t ->
+  cell list
+
+val to_report : ?loads:float list -> cell list -> Report.t
+val run : Format.formatter -> Exp_scale.t -> unit

@@ -1,0 +1,91 @@
+(* Table 3 (Sec 7.3): dispatching — average profit loss per query for
+   LWL/CBS, LWL/CBS+SLA-tree and SLA-tree/CBS+SLA-tree across server
+   counts {2, 5, 10}, workloads and SLA profiles. System load is 0.9
+   (the paper's dispatching runs inherit the high-load setting). *)
+
+let default_servers = [ 2; 5; 10 ]
+let load = 0.9
+
+let dispatchers =
+  [ Exp_common.Lwl_cbs; Exp_common.Lwl_tree_sched; Exp_common.Tree_tree ]
+
+type cell = {
+  profile : Workloads.sla_profile;
+  kind : Workloads.kind;
+  servers : int;
+  disp : Exp_common.disp_kind;
+  avg_loss : float;
+}
+
+let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
+    ?(servers = default_servers) (scale : Exp_scale.t) =
+  List.concat_map
+    (fun profile ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun m ->
+              List.map
+                (fun disp ->
+                  let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
+                  let make_trace_cfg ~seed =
+                    Trace.config ~kind ~profile ~load ~servers:m
+                      ~n_queries:scale.n_queries ~seed ()
+                  in
+                  let avg_loss =
+                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+                      ~n_servers:m ~scheduler ~dispatcher
+                  in
+                  { profile; kind; servers = m; disp; avg_loss })
+                dispatchers)
+            servers)
+        kinds)
+    profiles
+
+let to_report ?(servers = default_servers) cells =
+  let col_groups =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun kind ->
+            ( Workloads.profile_name profile ^ " " ^ Workloads.kind_name kind,
+              List.map string_of_int servers ))
+          Workloads.all_kinds)
+      Workloads.all_profiles
+  in
+  let rows =
+    List.map
+      (fun disp ->
+        let cells_for =
+          List.concat_map
+            (fun profile ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun m ->
+                      match
+                        List.find_opt
+                          (fun c ->
+                            c.profile = profile && c.kind = kind
+                            && c.servers = m && c.disp = disp)
+                          cells
+                      with
+                      | Some c -> c.avg_loss
+                      | None -> Float.nan)
+                    servers)
+                Workloads.all_kinds)
+            Workloads.all_profiles
+        in
+        (Exp_common.disp_name disp, Array.of_list cells_for))
+      dispatchers
+  in
+  {
+    Report.title =
+      "Table 3: dispatching, average profit loss per query (server # columns)";
+    col_groups;
+    rows;
+  }
+
+let run ppf scale =
+  let cells = compute scale in
+  Report.render ppf (to_report cells)

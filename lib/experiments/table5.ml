@@ -1,0 +1,94 @@
+(* Table 5 (Sec 7.5): robustness of scheduling to execution-time
+   estimation error — CBS vs CBS+SLA-tree at load 0.9, with the real
+   execution time equal to the estimate scaled by N(1, sigma^2),
+   sigma^2 in {0, 0.2, 1.0}. *)
+
+let default_sigmas = [ 0.0; 0.2; 1.0 ]
+let load = 0.9
+let schedulers = [ Exp_common.Cbs; Exp_common.Cbs_tree ]
+
+type cell = {
+  profile : Workloads.sla_profile;
+  kind : Workloads.kind;
+  sigma2 : float;
+  sched : Exp_common.sched_kind;
+  avg_loss : float;
+}
+
+let error_of sigma2 =
+  if sigma2 = 0.0 then Estimate_error.none
+  else Estimate_error.gaussian ~sigma2 ()
+
+let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
+    ?(sigmas = default_sigmas) (scale : Exp_scale.t) =
+  List.concat_map
+    (fun profile ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun sigma2 ->
+              List.map
+                (fun sched ->
+                  let make_trace_cfg ~seed =
+                    Trace.config ~error:(error_of sigma2) ~kind ~profile ~load
+                      ~servers:1 ~n_queries:scale.n_queries ~seed ()
+                  in
+                  let avg_loss =
+                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+                      ~n_servers:1
+                      ~scheduler:(Exp_common.scheduler_of sched kind)
+                      ~dispatcher:Dispatchers.round_robin
+                  in
+                  { profile; kind; sigma2; sched; avg_loss })
+                schedulers)
+            sigmas)
+        kinds)
+    profiles
+
+let to_report ?(sigmas = default_sigmas) cells =
+  let col_groups =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun kind ->
+            ( Workloads.profile_name profile ^ " " ^ Workloads.kind_name kind,
+              List.map (Printf.sprintf "%.1f") sigmas ))
+          Workloads.all_kinds)
+      Workloads.all_profiles
+  in
+  let rows =
+    List.map
+      (fun sched ->
+        let cells_for =
+          List.concat_map
+            (fun profile ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun sigma2 ->
+                      match
+                        List.find_opt
+                          (fun c ->
+                            c.profile = profile && c.kind = kind
+                            && c.sigma2 = sigma2 && c.sched = sched)
+                          cells
+                      with
+                      | Some c -> c.avg_loss
+                      | None -> Float.nan)
+                    sigmas)
+                Workloads.all_kinds)
+            Workloads.all_profiles
+        in
+        (Exp_common.sched_name sched, Array.of_list cells_for))
+      schedulers
+  in
+  {
+    Report.title =
+      "Table 5: scheduling robustness vs estimation error (load 0.9; columns are sigma^2)";
+    col_groups;
+    rows;
+  }
+
+let run ppf scale =
+  let cells = compute scale in
+  Report.render ppf (to_report cells)

@@ -1,0 +1,91 @@
+(* Table 6 (Sec 7.5): robustness of dispatching to estimation error —
+   the three dispatching rows of Table 3 on 5 servers at load 0.9,
+   sigma^2 in {0, 0.2, 1.0}. *)
+
+let default_sigmas = [ 0.0; 0.2; 1.0 ]
+let load = 0.9
+let servers = 5
+
+let dispatchers =
+  [ Exp_common.Lwl_cbs; Exp_common.Lwl_tree_sched; Exp_common.Tree_tree ]
+
+type cell = {
+  profile : Workloads.sla_profile;
+  kind : Workloads.kind;
+  sigma2 : float;
+  disp : Exp_common.disp_kind;
+  avg_loss : float;
+}
+
+let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
+    ?(sigmas = default_sigmas) (scale : Exp_scale.t) =
+  List.concat_map
+    (fun profile ->
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun sigma2 ->
+              List.map
+                (fun disp ->
+                  let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
+                  let make_trace_cfg ~seed =
+                    Trace.config ~error:(Table5.error_of sigma2) ~kind ~profile
+                      ~load ~servers ~n_queries:scale.n_queries ~seed ()
+                  in
+                  let avg_loss =
+                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+                      ~n_servers:servers ~scheduler ~dispatcher
+                  in
+                  { profile; kind; sigma2; disp; avg_loss })
+                dispatchers)
+            sigmas)
+        kinds)
+    profiles
+
+let to_report ?(sigmas = default_sigmas) cells =
+  let col_groups =
+    List.concat_map
+      (fun profile ->
+        List.map
+          (fun kind ->
+            ( Workloads.profile_name profile ^ " " ^ Workloads.kind_name kind,
+              List.map (Printf.sprintf "%.1f") sigmas ))
+          Workloads.all_kinds)
+      Workloads.all_profiles
+  in
+  let rows =
+    List.map
+      (fun disp ->
+        let cells_for =
+          List.concat_map
+            (fun profile ->
+              List.concat_map
+                (fun kind ->
+                  List.map
+                    (fun sigma2 ->
+                      match
+                        List.find_opt
+                          (fun c ->
+                            c.profile = profile && c.kind = kind
+                            && c.sigma2 = sigma2 && c.disp = disp)
+                          cells
+                      with
+                      | Some c -> c.avg_loss
+                      | None -> Float.nan)
+                    sigmas)
+                Workloads.all_kinds)
+            Workloads.all_profiles
+        in
+        (Exp_common.disp_name disp, Array.of_list cells_for))
+      dispatchers
+  in
+  {
+    Report.title =
+      "Table 6: dispatching robustness vs estimation error (5 servers; columns are sigma^2)";
+    col_groups;
+    rows;
+  }
+
+let run ppf scale =
+  let cells = compute scale in
+  Report.render ppf (to_report cells)

@@ -1,0 +1,12 @@
+(** Table 7 (Sec 8.2): the greedy non-optimality counterexample. *)
+
+type result = {
+  original_profit : float;
+  greedy_profit : float;
+  optimal_profit : float;
+  greedy_keeps_head : bool;
+}
+
+val queries : unit -> Query.t array
+val compute : unit -> result
+val run : Format.formatter -> unit -> unit

@@ -1,0 +1,28 @@
+(** End-to-end execution-time prediction (Sec 2.3's assumed substrate):
+    train a kNN model on observed plan executions, evaluate it, and
+    generate simulator traces whose estimates come from the model. *)
+
+type t
+
+(** Train on [training_size] random plans with lognormal run-to-run
+    noise of the given sigma. Deterministic in [seed]. *)
+val train :
+  ?k:int -> ?training_size:int -> ?noise_sigma:float -> seed:int -> unit -> t
+
+(** Predicted execution time (ms) for a plan. *)
+val predict : t -> Query_plan.t -> float
+
+(** MAPE (%) on fresh plans and fresh executions. *)
+val evaluate : ?test_size:int -> t -> seed:int -> float
+
+(** Poisson trace whose [est_size] is the model's prediction and whose
+    [size] is a fresh noisy execution; SLA bounds scale with the
+    trace's own mean, as in Fig 16. *)
+val generate_trace :
+  t ->
+  profile:Workloads.sla_profile ->
+  load:float ->
+  servers:int ->
+  n_queries:int ->
+  seed:int ->
+  Query.t array

@@ -1,0 +1,71 @@
+(* k-nearest-neighbour regression on standardized features — the
+   approach of Ganapathi et al. (cited in paper Sec 2.3) reduced to
+   its core. Targets are learned in log space because execution times
+   span orders of magnitude and their noise is multiplicative. *)
+
+type t = {
+  k : int;
+  xs : float array array;  (** standardized training features *)
+  log_ys : float array;
+  means : float array;
+  stds : float array;
+}
+
+let standardize ~means ~stds x =
+  Array.mapi (fun j v -> (v -. means.(j)) /. stds.(j)) x
+
+let fit ~k xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Knn.fit: empty training set";
+  if Array.length ys <> n then invalid_arg "Knn.fit: |xs| <> |ys|";
+  if k <= 0 then invalid_arg "Knn.fit: k <= 0";
+  Array.iter (fun y -> if y <= 0.0 then invalid_arg "Knn.fit: targets must be positive") ys;
+  let d = Array.length xs.(0) in
+  let means = Array.make d 0.0 in
+  let stds = Array.make d 0.0 in
+  for j = 0 to d - 1 do
+    let s = Stats.create () in
+    Array.iter (fun x -> Stats.add s x.(j)) xs;
+    means.(j) <- Stats.mean s;
+    let sd = Stats.stddev s in
+    stds.(j) <- (if Float.is_nan sd || sd < 1e-9 then 1.0 else sd)
+  done;
+  {
+    k = min k n;
+    xs = Array.map (standardize ~means ~stds) xs;
+    log_ys = Array.map log ys;
+    means;
+    stds;
+  }
+
+let distance2 a b =
+  let acc = ref 0.0 in
+  for j = 0 to Array.length a - 1 do
+    let d = a.(j) -. b.(j) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Predict by averaging the k nearest neighbours in log space (i.e. a
+   geometric mean of their observed times). A full sort is O(n log n);
+   training sets here are small enough that this dominates nothing. *)
+let predict t x =
+  let q = standardize ~means:t.means ~stds:t.stds x in
+  let dists = Array.mapi (fun i xi -> (distance2 q xi, i)) t.xs in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) dists;
+  let acc = ref 0.0 in
+  for r = 0 to t.k - 1 do
+    let _, i = dists.(r) in
+    acc := !acc +. t.log_ys.(i)
+  done;
+  exp (!acc /. Float.of_int t.k)
+
+(* Mean absolute percentage error over a labeled test set. *)
+let mape t xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Knn.mape: empty test set";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x -> acc := !acc +. Float.abs ((predict t x -. ys.(i)) /. ys.(i)))
+    xs;
+  100.0 *. !acc /. Float.of_int n

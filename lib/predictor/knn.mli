@@ -1,0 +1,15 @@
+(** k-nearest-neighbour regression on standardized features, learning
+    positive targets in log space (execution times). *)
+
+type t
+
+(** [fit ~k xs ys] standardizes the features and stores the training
+    set. Raises on empty data, mismatched lengths, non-positive
+    targets or [k <= 0]; [k] is clamped to the training-set size. *)
+val fit : k:int -> float array array -> float array -> t
+
+(** Geometric mean of the [k] nearest training targets. *)
+val predict : t -> float array -> float
+
+(** Mean absolute percentage error on a labeled test set. *)
+val mape : t -> float array array -> float array -> float

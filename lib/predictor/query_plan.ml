@@ -1,0 +1,80 @@
+(* Synthetic query plans and their ground-truth execution cost.
+
+   The SLA-tree framework assumes execution-time estimates exist
+   (paper Sec 2.3 cites Ganapathi et al.'s ML predictors and Sec 7.5
+   measures robustness to their errors). This module provides the
+   substrate those papers assume: a population of query plans with
+   observable features and a latent cost model the predictor does not
+   see. *)
+
+type t = {
+  n_scans : int;  (** base table accesses *)
+  n_joins : int;
+  n_sorts : int;
+  n_aggregates : int;
+  log_rows : float;  (** log10 of the driving input cardinality *)
+  selectivity : float;  (** fraction of rows surviving predicates, (0, 1] *)
+}
+
+let feature_count = 6
+
+let to_features p =
+  [|
+    Float.of_int p.n_scans;
+    Float.of_int p.n_joins;
+    Float.of_int p.n_sorts;
+    Float.of_int p.n_aggregates;
+    p.log_rows;
+    p.selectivity;
+  |]
+
+(* Random plan: OLTP-ish (small, few operators) or OLAP-ish (large,
+   join/sort heavy), mirroring the paper's mixed workloads. *)
+let generate rng =
+  let olap = Prng.float rng < 0.3 in
+  if olap then
+    {
+      n_scans = 1 + Prng.int rng 4;
+      n_joins = 1 + Prng.int rng 4;
+      n_sorts = Prng.int rng 3;
+      n_aggregates = Prng.int rng 3;
+      log_rows = 4.0 +. (Prng.float rng *. 3.0);
+      selectivity = 0.05 +. (Prng.float rng *. 0.95);
+    }
+  else
+    {
+      n_scans = 1 + Prng.int rng 2;
+      n_joins = Prng.int rng 2;
+      n_sorts = 0;
+      n_aggregates = Prng.int rng 2;
+      log_rows = 2.0 +. (Prng.float rng *. 2.5);
+      selectivity = 0.01 +. (Prng.float rng *. 0.3);
+    }
+
+(* Latent cost model (ms). Scans stream rows; joins pay a
+   near-linearithmic factor; sorts pay n log n on surviving rows;
+   aggregates are cheap. The predictor never sees this formula — it
+   only sees (features, observed cost) pairs. *)
+let base_cost_ms p =
+  let rows = 10.0 ** p.log_rows in
+  let surviving = rows *. p.selectivity in
+  let scan = 0.00002 *. rows *. Float.of_int p.n_scans in
+  let join =
+    0.00004 *. surviving *. log (1.0 +. surviving) *. Float.of_int p.n_joins
+  in
+  let sort =
+    0.00003 *. surviving *. log (1.0 +. surviving) *. Float.of_int p.n_sorts
+  in
+  let agg = 0.00001 *. surviving *. Float.of_int p.n_aggregates in
+  0.15 +. scan +. join +. sort +. agg
+
+(* Observed cost: the latent model perturbed by run-to-run variance
+   (buffer-pool state, concurrent activity), lognormal with the given
+   sigma. *)
+let observed_cost_ms ?(noise_sigma = 0.15) p rng =
+  let noise = exp (Prng.gaussian rng ~mu:0.0 ~sigma:noise_sigma) in
+  base_cost_ms p *. noise
+
+let pp ppf p =
+  Fmt.pf ppf "plan{scans=%d joins=%d sorts=%d aggs=%d rows=10^%.1f sel=%.2f}"
+    p.n_scans p.n_joins p.n_sorts p.n_aggregates p.log_rows p.selectivity

@@ -1,0 +1,28 @@
+(** Synthetic query plans with a latent cost model — the substrate
+    behind execution-time prediction (paper Sec 2.3). *)
+
+type t = {
+  n_scans : int;
+  n_joins : int;
+  n_sorts : int;
+  n_aggregates : int;
+  log_rows : float;
+  selectivity : float;
+}
+
+val feature_count : int
+
+(** Feature vector a predictor is allowed to see. *)
+val to_features : t -> float array
+
+(** Random OLTP/OLAP mixture plan. *)
+val generate : Prng.t -> t
+
+(** The latent cost model (ms) — hidden from predictors. *)
+val base_cost_ms : t -> float
+
+(** One observed execution: latent cost with lognormal run-to-run
+    noise. *)
+val observed_cost_ms : ?noise_sigma:float -> t -> Prng.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** The paper's Fig 2 component: owns the buffer between a dispatcher
+    and an executor, answering [queryArrive()] / [getNextQuery()] with
+    optional SLA-tree re-ranking, and exposing the tree for external
+    what-if questions. Decision traces go to the "slatree.frontend"
+    log source at debug level. *)
+
+type t
+
+(** [create planner] uses the planner's order as the baseline;
+    [sla_tree] (default true) enables the profit-aware re-ranking of
+    Sec 6.1. *)
+val create : ?sla_tree:bool -> Planner.t -> t
+
+val buffer_length : t -> int
+
+(** Total arrivals seen. *)
+val arrivals : t -> int
+
+(** Total [get_next_query] decisions made on a non-empty buffer. *)
+val decisions : t -> int
+
+(** Decisions that deviated from the planned head. *)
+val rushes : t -> int
+
+(** Fig 2's queryArrive(). *)
+val query_arrive : t -> Query.t -> unit
+
+(** SLA-tree over the current buffer in planned order, anchored at
+    [now] (for dispatch/capacity what-ifs). *)
+val what_if_tree : t -> now:float -> Sla_tree.t
+
+(** Fig 2's getNextQuery(): remove and return the next query to
+    execute, or [None] when the buffer is empty. *)
+val get_next_query : t -> now:float -> Query.t option

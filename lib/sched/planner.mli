@@ -1,0 +1,41 @@
+(** Planners: the fixed execution order the SLA-tree requires.
+
+    A planner maps the arrival-ordered buffer to a stable permutation
+    (the planned execution order). Stability gives the paper's
+    "very minor condition" (Sec 6.2): inserting a query never reorders
+    the existing ones. *)
+
+type t
+
+val name : t -> string
+
+(** [plan t ~now buffer] is the permutation: [perm.(k)] is the buffer
+    index of the k-th query to execute. *)
+val plan : t -> now:float -> Query.t array -> int array
+
+(** Buffer reordered into planned execution order. *)
+val planned_queries : t -> now:float -> Query.t array -> Query.t array
+
+(** First-come-first-serve: identity order. *)
+val fcfs : t
+
+(** Shortest-job-first on estimated sizes. *)
+val sjf : t
+
+(** Earliest (first) deadline first. *)
+val edf : t
+
+(** Value-based scheduling (Haritsa et al., cited in Sec 2.3): highest
+    best-case SLA gain first, EDF within a value class. *)
+val value_edf : t
+
+(** Cost-based scheduling (Peha-Tobagi): descending expected loss per
+    unit work under a memoryless extra wait [X ~ Exp(rate)]. *)
+val cbs : rate:float -> t
+
+(** CBS priority of a single query (exposed for tests). *)
+val cbs_priority : rate:float -> now:float -> Query.t -> float
+
+(** Position the query would take if inserted into the planned order
+    of [buffer]; in [0 .. length buffer]. *)
+val insertion_rank : t -> now:float -> Query.t array -> Query.t -> int

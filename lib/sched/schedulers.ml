@@ -1,0 +1,44 @@
+(* Schedulers: concrete [Sim.pick_next] values.
+
+   A baseline scheduler simply runs the head of its planner's order.
+   The SLA-tree enhancement (paper Sec 6.1) builds an SLA-tree over the
+   planned order and rushes the query with the best net profit gain:
+     argmax_i  own_gain(q_i) - postpone(0, i-1, est_size_i). *)
+
+type t = { name : string; pick : Sim.pick_next }
+
+let name t = t.name
+let pick t = t.pick
+
+let of_planner planner =
+  {
+    name = Planner.name planner;
+    pick =
+      (fun ~now buffer ->
+        let perm = Planner.plan planner ~now buffer in
+        perm.(0));
+  }
+
+let with_sla_tree planner =
+  {
+    name = Planner.name planner ^ "+SLA-tree";
+    pick =
+      (fun ~now buffer ->
+        let perm = Planner.plan planner ~now buffer in
+        let planned = Array.map (fun i -> buffer.(i)) perm in
+        let tree = Sla_tree.build ~now planned in
+        match What_if.best_rush tree with
+        | None -> invalid_arg "Schedulers.with_sla_tree: empty buffer"
+        | Some (i, _gain) -> perm.(i));
+  }
+
+let fcfs = of_planner Planner.fcfs
+let sjf = of_planner Planner.sjf
+let edf = of_planner Planner.edf
+let value_edf = of_planner Planner.value_edf
+let cbs ~rate = of_planner (Planner.cbs ~rate)
+let fcfs_sla_tree = with_sla_tree Planner.fcfs
+let sjf_sla_tree = with_sla_tree Planner.sjf
+let edf_sla_tree = with_sla_tree Planner.edf
+let value_edf_sla_tree = with_sla_tree Planner.value_edf
+let cbs_sla_tree ~rate = with_sla_tree (Planner.cbs ~rate)

@@ -1,0 +1,28 @@
+(** Schedulers: named [Sim.pick_next] policies.
+
+    Baselines execute the head of their planner's order; SLA-tree
+    variants re-rank the whole buffer through the what-if analysis of
+    paper Sec 6.1 on every decision. *)
+
+type t
+
+val name : t -> string
+val pick : t -> Sim.pick_next
+
+(** Run the head of the planner's order. *)
+val of_planner : Planner.t -> t
+
+(** Rush [argmax_i (own_gain_i - postpone(0, i-1, est_size_i))] over
+    the planner's order. *)
+val with_sla_tree : Planner.t -> t
+
+val fcfs : t
+val sjf : t
+val edf : t
+val value_edf : t
+val cbs : rate:float -> t
+val fcfs_sla_tree : t
+val sjf_sla_tree : t
+val edf_sla_tree : t
+val value_edf_sla_tree : t
+val cbs_sla_tree : rate:float -> t

@@ -1,0 +1,24 @@
+(** Per-class outcome breakdown (buyer vs employee, tenant, ...):
+    groups measured queries by a classifier and reports loss, profit,
+    response and deadline misses per class. *)
+
+type class_stats = {
+  label : string;
+  loss : Stats.t;
+  profit : Stats.t;
+  response : Stats.t;
+  mutable late : int;
+}
+
+type t
+
+val create : classify:(Query.t -> string) -> warmup_id:int -> t
+
+(** Feed alongside (or instead of) {!Metrics.record}. *)
+val record : t -> Query.t -> completion:float -> unit
+
+(** In first-seen order. *)
+val classes : t -> class_stats list
+
+val find : t -> string -> class_stats option
+val pp : Format.formatter -> t -> unit

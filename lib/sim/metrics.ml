@@ -1,0 +1,108 @@
+(* Per-run metrics. The paper's headline number is the average profit
+   loss per query relative to the ideal world in which every first
+   deadline is met (Sec 7.1). The first [warmup_id] queries warm the
+   system up and are not measured. *)
+
+(* Per-query response times are retained (up to a cap) so percentile
+   statistics can be reported; everything else is O(1) state. *)
+let response_sample_cap = 1_000_000
+
+type t = {
+  warmup_id : int;
+  loss : Stats.t;
+  profit : Stats.t;
+  response : Stats.t;
+  mutable responses : float array;  (* sample of measured responses *)
+  mutable n_responses : int;
+  mutable completed_all : int;
+  mutable rejected : int;
+  mutable dropped : int;
+  mutable late : int;  (* measured queries that missed their first deadline *)
+}
+
+let create ~warmup_id =
+  if warmup_id < 0 then invalid_arg "Metrics.create: warmup_id < 0";
+  {
+    warmup_id;
+    loss = Stats.create ();
+    profit = Stats.create ();
+    response = Stats.create ();
+    responses = [||];
+    n_responses = 0;
+    completed_all = 0;
+    rejected = 0;
+    dropped = 0;
+    late = 0;
+  }
+
+let measured q t = q.Query.id >= t.warmup_id
+
+let push_response t r =
+  if t.n_responses < response_sample_cap then begin
+    let cap = Array.length t.responses in
+    if t.n_responses = cap then begin
+      let ncap = max 256 (cap * 2) in
+      let a = Array.make ncap 0.0 in
+      Array.blit t.responses 0 a 0 t.n_responses;
+      t.responses <- a
+    end;
+    t.responses.(t.n_responses) <- r;
+    t.n_responses <- t.n_responses + 1
+  end
+
+let record t q ~completion =
+  t.completed_all <- t.completed_all + 1;
+  if measured q t then begin
+    Stats.add t.loss (Query.loss_at q ~completion);
+    Stats.add t.profit (Query.profit_at q ~completion);
+    let r = completion -. q.Query.arrival in
+    Stats.add t.response r;
+    push_response t r;
+    if completion > Query.first_deadline q then t.late <- t.late + 1
+  end
+
+(* A rejected query earns nothing; its ideal profit is fully lost. *)
+let record_rejected t q =
+  t.rejected <- t.rejected + 1;
+  if measured q t then begin
+    Stats.add t.loss (Query.ideal_profit q);
+    Stats.add t.profit 0.0
+  end
+
+(* A dropped query (paper footnote 2: its last deadline passed while it
+   waited, so the penalty is already incurred): the provider keeps the
+   penalty but stops wasting server time on it. *)
+let record_dropped t q =
+  t.dropped <- t.dropped + 1;
+  if measured q t then begin
+    let penalty = Sla.penalty q.Query.sla in
+    Stats.add t.profit (-.penalty);
+    Stats.add t.loss (Query.ideal_profit q +. penalty);
+    t.late <- t.late + 1
+  end
+
+let measured_count t = Stats.count t.loss
+let completed_count t = t.completed_all
+let rejected_count t = t.rejected
+let dropped_count t = t.dropped
+let late_count t = t.late
+let avg_loss t = Stats.mean t.loss
+let avg_profit t = Stats.mean t.profit
+let total_profit t = Stats.total t.profit
+let avg_response t = Stats.mean t.response
+
+(* Percentile of measured response times (linear interpolation). *)
+let response_percentile t p =
+  if t.n_responses = 0 then Float.nan
+  else Stats.percentile (Array.sub t.responses 0 t.n_responses) p
+
+let late_fraction t =
+  let n = measured_count t in
+  if n = 0 then Float.nan else Float.of_int t.late /. Float.of_int n
+
+let pp ppf t =
+  Fmt.pf ppf
+    "measured=%d completed=%d rejected=%d dropped=%d avg_loss=%.4f \
+     avg_profit=%.4f avg_response=%.3f late=%.3f"
+    (measured_count t) t.completed_all t.rejected t.dropped (avg_loss t)
+    (avg_profit t) (avg_response t) (late_fraction t)

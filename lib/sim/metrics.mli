@@ -1,0 +1,40 @@
+(** Per-run metrics (paper Sec 7.1): average profit loss per measured
+    query vs the ideal world, plus secondary statistics. Queries with
+    [id < warmup_id] warm the system up and are not measured. *)
+
+type t
+
+val create : warmup_id:int -> t
+
+val record : t -> Query.t -> completion:float -> unit
+
+(** Rejected queries earn zero profit and lose their full ideal
+    profit. *)
+val record_rejected : t -> Query.t -> unit
+
+(** Dropped queries (paper footnote 2: abandoned after their last
+    deadline passed) keep their penalty as profit and count as late. *)
+val record_dropped : t -> Query.t -> unit
+
+val measured_count : t -> int
+val completed_count : t -> int
+val rejected_count : t -> int
+val dropped_count : t -> int
+
+(** Measured queries that missed their first deadline. *)
+val late_count : t -> int
+
+(** The paper's headline metric. *)
+val avg_loss : t -> float
+
+val avg_profit : t -> float
+val total_profit : t -> float
+val avg_response : t -> float
+
+(** Percentile (0..100) of measured response times; NaN when nothing
+    was measured. *)
+val response_percentile : t -> float -> float
+
+val late_fraction : t -> float
+
+val pp : Format.formatter -> t -> unit

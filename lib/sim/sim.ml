@@ -1,0 +1,196 @@
+(* Event-driven multi-server queueing simulator (paper Sec 2.2, Fig 4).
+
+   Queries arrive at a central dispatcher, are assigned to one of [m]
+   servers (each with a single buffer), and a per-server scheduler
+   picks the next buffered query whenever the server goes idle.
+
+   Decision makers (dispatcher, scheduler) see estimated execution
+   times; the server is busy for the *actual* execution time. *)
+
+type running = {
+  rquery : Query.t;
+  started : float;
+  act_finish : float;  (** real completion; drives the event loop *)
+  est_finish : float;  (** what decision makers believe *)
+}
+
+type server = {
+  sid : int;
+  speed : float;  (** processing rate; execution takes size/speed *)
+  mutable running : running option;
+  mutable buffer : Query.t list;  (** arrival order, oldest first *)
+}
+
+type t = {
+  servers : server array;
+  mutable now : float;
+  mutable next_arrival : int;
+  queries : Query.t array;
+  completions : (float * int) Heap.t;  (** (time, server) *)
+}
+
+(* [pick_next ~now buffer] returns the index (into the arrival-ordered
+   [buffer]) of the query to execute next. *)
+type pick_next = now:float -> Query.t array -> int
+
+type decision = { target : int option; est_delta : float option }
+
+type dispatch = t -> Query.t -> decision
+
+let n_servers t = Array.length t.servers
+let server t i = t.servers.(i)
+let now t = t.now
+
+let buffer_array s = Array.of_list s.buffer
+
+let buffer_length s = List.length s.buffer
+
+(* Estimated time at which the server finishes its current query (now
+   when idle; never in the past, even if the estimate undershot). *)
+let est_free_at t s =
+  match s.running with
+  | None -> t.now
+  | Some r -> Float.max t.now r.est_finish
+
+(* Estimated time the server still owes: remaining current query plus
+   everything buffered, in wall-clock terms (i.e. divided by the
+   server's speed). This is LWL's metric (Sec 2.3), naturally
+   speed-aware on heterogeneous farms. *)
+let est_work_left t s =
+  let cur = est_free_at t s -. t.now in
+  List.fold_left (fun acc q -> acc +. (q.Query.est_size /. s.speed)) cur s.buffer
+
+(* The canonical drop policy (footnote 2): give up on queries whose
+   last deadline has already passed — their penalty is sunk and
+   executing them only delays everyone else. *)
+let drop_past_last_deadline ~now q =
+  now > Query.deadline q ~bound:(Sla.last_deadline q.Query.sla)
+
+let remove_nth list n =
+  let rec go i acc = function
+    | [] -> invalid_arg "Sim.remove_nth: index out of bounds"
+    | x :: rest ->
+      if i = n then (x, List.rev_append acc rest)
+      else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] list
+
+let start_query t s q =
+  assert (s.running = None);
+  let r =
+    {
+      rquery = q;
+      started = t.now;
+      act_finish = t.now +. (q.Query.size /. s.speed);
+      est_finish = t.now +. (q.Query.est_size /. s.speed);
+    }
+  in
+  s.running <- Some r;
+  Heap.push t.completions (r.act_finish, s.sid)
+
+let dispatch_to t s q =
+  match s.running with
+  | None ->
+    assert (s.buffer = []);
+    start_query t s q
+  | Some _ -> s.buffer <- s.buffer @ [ q ]
+
+let create ?speeds ~queries ~n_servers () =
+  if n_servers <= 0 then invalid_arg "Sim.create: n_servers must be positive";
+  let speed_of =
+    match speeds with
+    | None -> fun _ -> 1.0
+    | Some a ->
+      if Array.length a <> n_servers then
+        invalid_arg "Sim.create: speeds array must have one entry per server";
+      Array.iter
+        (fun v -> if v <= 0.0 then invalid_arg "Sim.create: speeds must be positive")
+        a;
+      fun sid -> a.(sid)
+  in
+  {
+    servers =
+      Array.init n_servers (fun sid ->
+          { sid; speed = speed_of sid; running = None; buffer = [] });
+    now = 0.0;
+    next_arrival = 0;
+    queries;
+    completions =
+      Heap.create (fun (ta, sa) (tb, sb) ->
+          let c = Float.compare ta tb in
+          if c <> 0 then c else Int.compare sa sb);
+  }
+
+let run ?on_dispatch ?on_complete ?speeds ?drop_policy ~queries ~n_servers
+    ~pick_next ~dispatch ~metrics () =
+  let t = create ?speeds ~queries ~n_servers () in
+  let total = Array.length queries in
+  (* Footnote-2 alternative: at each scheduling point, abandon buffered
+     queries the policy gives up on (typically those past their last
+     deadline, whose penalty is already incurred). *)
+  let apply_drop_policy s =
+    match drop_policy with
+    | None -> ()
+    | Some keep_or_drop ->
+      let dropped, kept =
+        List.partition (fun q -> keep_or_drop ~now:t.now q) s.buffer
+      in
+      List.iter (Metrics.record_dropped metrics) dropped;
+      s.buffer <- kept
+  in
+  let finish_one s =
+    match s.running with
+    | None -> assert false
+    | Some r ->
+      s.running <- None;
+      Metrics.record metrics r.rquery ~completion:t.now;
+      (match on_complete with
+      | Some f -> f r.rquery ~completion:t.now
+      | None -> ());
+      apply_drop_policy s;
+      (match s.buffer with
+      | [] -> ()
+      | buffer ->
+        let arr = Array.of_list buffer in
+        let idx = pick_next ~now:t.now arr in
+        if idx < 0 || idx >= Array.length arr then
+          invalid_arg "Sim.run: scheduler returned an out-of-bounds index";
+        let q, rest = remove_nth buffer idx in
+        s.buffer <- rest;
+        start_query t s q)
+  in
+  let arrive q =
+    let d = dispatch t q in
+    (match on_dispatch with Some f -> f ~now:t.now q d | None -> ());
+    match d.target with
+    | None -> Metrics.record_rejected metrics q
+    | Some sid ->
+      if sid < 0 || sid >= n_servers then
+        invalid_arg "Sim.run: dispatcher returned an invalid server";
+      dispatch_to t t.servers.(sid) q
+  in
+  let rec loop () =
+    let next_completion = Heap.peek t.completions in
+    let next_arrival =
+      if t.next_arrival < total then Some queries.(t.next_arrival) else None
+    in
+    match (next_completion, next_arrival) with
+    | None, None -> ()
+    | Some (tc, _), Some qa when tc <= qa.Query.arrival ->
+      let tc, sid = Heap.pop_exn t.completions in
+      t.now <- tc;
+      finish_one t.servers.(sid);
+      loop ()
+    | Some _, Some qa | None, Some qa ->
+      t.next_arrival <- t.next_arrival + 1;
+      t.now <- qa.Query.arrival;
+      arrive qa;
+      loop ()
+    | Some (tc, _), None ->
+      ignore tc;
+      let tc, sid = Heap.pop_exn t.completions in
+      t.now <- tc;
+      finish_one t.servers.(sid);
+      loop ()
+  in
+  loop ()

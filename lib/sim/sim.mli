@@ -1,0 +1,74 @@
+(** Event-driven multi-server queueing simulator (paper Fig 4).
+
+    Queries arrive at a central dispatcher; each server has a single
+    buffer and a scheduler that picks the next query when the server
+    idles. Decision makers see estimated execution times; servers are
+    occupied for the actual ones. *)
+
+type running = {
+  rquery : Query.t;
+  started : float;
+  act_finish : float;
+  est_finish : float;
+}
+
+type server = {
+  sid : int;
+  speed : float;  (** processing rate; execution takes size/speed *)
+  mutable running : running option;
+  mutable buffer : Query.t list;  (** arrival order, oldest first *)
+}
+
+type t
+
+(** [pick_next ~now buffer] is the index, into the arrival-ordered
+    buffer, of the query to execute next. *)
+type pick_next = now:float -> Query.t array -> int
+
+(** A dispatch decision: [target = None] rejects the query
+    (admission control); [est_delta] optionally reports the estimated
+    profit delta of the chosen server (consumed by capacity
+    planning). *)
+type decision = { target : int option; est_delta : float option }
+
+type dispatch = t -> Query.t -> decision
+
+val n_servers : t -> int
+val server : t -> int -> server
+val now : t -> float
+val buffer_array : server -> Query.t array
+val buffer_length : server -> int
+
+(** Estimated time the server finishes its current query (now if
+    idle). *)
+val est_free_at : t -> server -> float
+
+(** Estimated remaining work: current query remainder plus buffered
+    sizes (LWL's metric). *)
+val est_work_left : t -> server -> float
+
+(** The canonical [drop_policy]: abandon queries whose last deadline
+    has already passed (their penalty is sunk — footnote 2). *)
+val drop_past_last_deadline : now:float -> Query.t -> bool
+
+(** [run ~queries ~n_servers ~pick_next ~dispatch ~metrics ()] replays
+    the arrival-sorted [queries] to completion. [on_dispatch] observes
+    every dispatch decision (capacity planning hooks in here);
+    [on_complete] observes every completion (per-class breakdowns hook
+    in here). [speeds] makes the farm heterogeneous (Sec 6.2's claim):
+    one positive rate per server, execution takes [size/speed].
+    [drop_policy ~now q = true] abandons buffered query [q] at a
+    scheduling point instead of ever executing it (paper footnote 2's
+    alternative; the query keeps its penalty). *)
+val run :
+  ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
+  ?on_complete:(Query.t -> completion:float -> unit) ->
+  ?speeds:float array ->
+  ?drop_policy:(now:float -> Query.t -> bool) ->
+  queries:Query.t array ->
+  n_servers:int ->
+  pick_next:pick_next ->
+  dispatch:dispatch ->
+  metrics:Metrics.t ->
+  unit ->
+  unit

@@ -1,0 +1,37 @@
+(* A query as the framework sees it: arrival time, (estimated and
+   actual) execution time, and its SLA. All decision making uses the
+   estimate [est_size]; the simulator charges the actual [size]
+   (Sec 7.5 robustness experiments make the two differ). *)
+
+type t = {
+  id : int;
+  arrival : float;
+  size : float;
+  est_size : float;
+  sla : Sla.t;
+}
+
+let make ?est_size ~id ~arrival ~size ~sla () =
+  if size < 0.0 then invalid_arg "Query.make: size must be non-negative";
+  if arrival < 0.0 then invalid_arg "Query.make: arrival must be non-negative";
+  let est_size = Option.value est_size ~default:size in
+  if est_size < 0.0 then invalid_arg "Query.make: est_size must be non-negative";
+  { id; arrival; size; est_size; sla }
+
+(* Absolute deadline of level [k] of [t.sla]. *)
+let deadline t ~bound = t.arrival +. bound
+
+let first_deadline t = t.arrival +. Sla.first_deadline t.sla
+
+let profit_at t ~completion = Sla.profit t.sla ~response:(completion -. t.arrival)
+
+let loss_at t ~completion =
+  Sla.loss_vs_ideal t.sla ~response:(completion -. t.arrival)
+
+let ideal_profit t = Sla.max_gain t.sla
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let pp ppf t =
+  Fmt.pf ppf "q%d(arr=%g size=%g est=%g %a)" t.id t.arrival t.size t.est_size
+    Sla.pp t.sla

@@ -1,0 +1,38 @@
+(** Queries: arrival time, execution time (actual and estimated) and an
+    SLA.
+
+    All profit-oriented decisions (scheduling, dispatching, the SLA-tree
+    itself) see only [est_size]; the simulator charges [size]. The two
+    coincide unless an estimation-error model is applied (Sec 7.5). *)
+
+type t = private {
+  id : int;  (** position in arrival order; unique per trace *)
+  arrival : float;  (** absolute arrival time *)
+  size : float;  (** actual execution time *)
+  est_size : float;  (** execution time visible to decision makers *)
+  sla : Sla.t;
+}
+
+(** [make ~id ~arrival ~size ~sla ()] builds a query; [est_size]
+    defaults to [size]. Raises [Invalid_argument] on negative times. *)
+val make :
+  ?est_size:float -> id:int -> arrival:float -> size:float -> sla:Sla.t ->
+  unit -> t
+
+(** Absolute deadline for an SLA level bound. *)
+val deadline : t -> bound:float -> float
+
+(** Absolute deadline of the first (best) SLA level. *)
+val first_deadline : t -> float
+
+(** Profit if the query completes at absolute time [completion]. *)
+val profit_at : t -> completion:float -> float
+
+(** Loss vs the ideal world at absolute time [completion]. *)
+val loss_at : t -> completion:float -> float
+
+(** Profit when the first deadline is met. *)
+val ideal_profit : t -> float
+
+val compare_by_id : t -> t -> int
+val pp : Format.formatter -> t -> unit

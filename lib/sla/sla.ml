@@ -1,0 +1,124 @@
+(* Stepwise service level agreements (paper Sec 2.1, Fig 3).
+
+   An SLA maps query response time to provider profit:
+     response <= bound_1 -> gain_1
+     bound_1 < response <= bound_2 -> gain_2
+     ...
+     response > bound_K -> -penalty
+   with bounds strictly increasing and gains strictly decreasing down to
+   -penalty. *)
+
+type level = { bound : float; gain : float }
+
+type t = { levels : level array; penalty : float }
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let make ~levels ~penalty =
+  let levels = Array.of_list levels in
+  if Array.length levels = 0 then invalid "SLA needs at least one level";
+  if penalty < 0.0 then invalid "penalty must be non-negative";
+  Array.iteri
+    (fun i { bound; gain } ->
+      if not (Float.is_finite bound && Float.is_finite gain) then
+        invalid "level %d is not finite" i;
+      if bound <= 0.0 then invalid "level %d bound must be positive" i;
+      if i > 0 then begin
+        if bound <= levels.(i - 1).bound then
+          invalid "bounds must be strictly increasing at level %d" i;
+        if gain >= levels.(i - 1).gain then
+          invalid "gains must be strictly decreasing at level %d" i
+      end)
+    levels;
+  if levels.(Array.length levels - 1).gain < -.penalty then
+    invalid "last gain must be >= -penalty (profit is non-increasing)";
+  { levels; penalty }
+
+let single_step ~bound ~gain = make ~levels:[ { bound; gain } ] ~penalty:0.0
+let one_zero ~bound = single_step ~bound ~gain:1.0
+
+let levels t = Array.to_list t.levels
+let num_levels t = Array.length t.levels
+let penalty t = t.penalty
+let max_gain t = t.levels.(0).gain
+let first_deadline t = t.levels.(0).bound
+let last_deadline t = t.levels.(Array.length t.levels - 1).bound
+
+(* Profit for a query answered [response] after it arrived. On-time is
+   inclusive: response = bound still earns the level's gain. *)
+let profit t ~response =
+  let n = Array.length t.levels in
+  let rec loop i =
+    if i >= n then -.t.penalty
+    else if response <= t.levels.(i).bound then t.levels.(i).gain
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Loss relative to the ideal world in which the first deadline is met
+   (the paper's reported metric, Sec 7.1). *)
+let loss_vs_ideal t ~response = max_gain t -. profit t ~response
+
+(* Decomposition into g/0 components (Sec 4.2, Fig 8): profit(r) =
+   offset + sum over components of (gain_k if r <= bound_k else 0),
+   where offset = -penalty. Component gains are non-negative by the
+   validation in [make]. Components with zero gain are dropped; they
+   would create leaves that can never change any answer. *)
+type component = { comp_bound : float; comp_gain : float }
+
+let decompose t =
+  let n = Array.length t.levels in
+  let comps = ref [] in
+  for i = n - 1 downto 0 do
+    let next_gain = if i = n - 1 then -.t.penalty else t.levels.(i + 1).gain in
+    let g = t.levels.(i).gain -. next_gain in
+    if g > 0.0 then
+      comps := { comp_bound = t.levels.(i).bound; comp_gain = g } :: !comps
+  done;
+  (!comps, -.t.penalty)
+
+(* Reconstruct the profit from a decomposition — used by tests and by
+   the naive reference implementation. *)
+let profit_of_decomposition (comps, offset) ~response =
+  List.fold_left
+    (fun acc { comp_bound; comp_gain } ->
+      if response <= comp_bound then acc +. comp_gain else acc)
+    offset comps
+
+(* Expected profit when the response time is [elapsed + X] with
+   X ~ Exp(rate): closed form over the SLA steps. This is the integral
+   CBS needs (Sec 6.1 footnote; Peha-Tobagi's memoryless waiting-time
+   assumption). *)
+let expected_profit_exp t ~elapsed ~rate =
+  if rate <= 0.0 then invalid_arg "Sla.expected_profit_exp: rate must be > 0";
+  let surv bound =
+    (* P(elapsed + X > bound) *)
+    let d = bound -. elapsed in
+    if d <= 0.0 then 1.0 else exp (-.rate *. d)
+  in
+  let n = Array.length t.levels in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p_above_prev = if i = 0 then 1.0 else surv t.levels.(i - 1).bound in
+    let p_above_cur = surv t.levels.(i).bound in
+    acc := !acc +. (t.levels.(i).gain *. (p_above_prev -. p_above_cur))
+  done;
+  !acc +. (-.t.penalty *. surv t.levels.(n - 1).bound)
+
+let expected_loss_exp t ~elapsed ~rate =
+  max_gain t -. expected_profit_exp t ~elapsed ~rate
+
+let equal a b =
+  a.penalty = b.penalty
+  && Array.length a.levels = Array.length b.levels
+  && Array.for_all2
+       (fun x y -> x.bound = y.bound && x.gain = y.gain)
+       a.levels b.levels
+
+let pp ppf t =
+  let pp_level ppf { bound; gain } = Fmt.pf ppf "%g@%g" gain bound in
+  Fmt.pf ppf "@[<h>SLA[%a; penalty=%g]@]"
+    Fmt.(array ~sep:(any ", ") pp_level)
+    t.levels t.penalty

@@ -1,0 +1,66 @@
+(** Stepwise service level agreements (paper Sec 2.1, Fig 3).
+
+    An SLA maps a query's response time (completion minus arrival) to
+    the provider's profit: a decreasing staircase of gains followed by a
+    penalty once the last deadline is missed. *)
+
+(** One step: finishing within [bound] of arrival earns [gain]. *)
+type level = { bound : float; gain : float }
+
+type t
+
+exception Invalid of string
+
+(** [make ~levels ~penalty] validates and builds an SLA. Bounds must be
+    positive and strictly increasing, gains strictly decreasing, and the
+    last gain at least [-penalty]; [penalty >= 0]. Raises {!Invalid}
+    otherwise. *)
+val make : levels:level list -> penalty:float -> t
+
+(** g/0 profit model (Fig 3b). *)
+val single_step : bound:float -> gain:float -> t
+
+(** 1/0 profit model (Fig 3c). *)
+val one_zero : bound:float -> t
+
+val levels : t -> level list
+val num_levels : t -> int
+val penalty : t -> float
+
+(** Gain of the first (best) level — the "ideal world" profit. *)
+val max_gain : t -> float
+
+(** Bound of the first level. *)
+val first_deadline : t -> float
+
+(** Bound of the last level, after which the penalty applies. *)
+val last_deadline : t -> float
+
+(** [profit t ~response] is the provider's profit when the query is
+    answered [response] time units after arrival (on-time inclusive). *)
+val profit : t -> response:float -> float
+
+(** [max_gain t - profit t ~response]: the paper's reported metric. *)
+val loss_vs_ideal : t -> response:float -> float
+
+(** A g/0 component of the decomposition: earns [comp_gain] iff the
+    response is within [comp_bound]. *)
+type component = { comp_bound : float; comp_gain : float }
+
+(** [decompose t] rewrites the SLA as a constant offset ([-penalty])
+    plus a sum of non-negative g/0 components (Sec 4.2, Fig 8).
+    Components are ordered by increasing bound. *)
+val decompose : t -> component list * float
+
+(** Inverse of {!decompose}; equals [profit] for every response time. *)
+val profit_of_decomposition : component list * float -> response:float -> float
+
+(** [expected_profit_exp t ~elapsed ~rate] is [E(profit (elapsed + X))]
+    for [X ~ Exp(rate)] — the closed-form integral behind the CBS
+    baseline's priority. *)
+val expected_profit_exp : t -> elapsed:float -> rate:float -> float
+
+val expected_loss_exp : t -> elapsed:float -> rate:float -> float
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(* The SLA profiles used in the paper's evaluation (Sec 7.1, Fig 16),
+   parameterized by the mean query execution time [mu] of the workload. *)
+
+let sla_a ~mu = Sla.one_zero ~bound:(2.0 *. mu)
+
+let sla_b_customer ~mu =
+  Sla.make
+    ~levels:[ { bound = mu; gain = 2.0 }; { bound = 5.0 *. mu; gain = 1.0 } ]
+    ~penalty:0.0
+
+let sla_b_employee ~mu =
+  Sla.make ~levels:[ { bound = 10.0 *. mu; gain = 1.0 } ] ~penalty:10.0
+
+(* In SLA-B, buyer queries are 10x more frequent than employee queries
+   (Sec 7.1). *)
+let sla_b_customer_weight = 10
+let sla_b_employee_weight = 1
+
+(* SSBM correlation rule (Sec 7.1): queries longer than 20 ms come from
+   internal employees, the rest from regular buyers. *)
+let ssbm_employee_threshold_ms = 20.0

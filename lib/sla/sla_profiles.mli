@@ -1,0 +1,19 @@
+(** The SLA shapes of the paper's evaluation (Fig 16), parameterized by
+    the workload's mean execution time [mu]. *)
+
+(** SLA-A: 1/0 profit, deadline [2 mu]. *)
+val sla_a : mu:float -> Sla.t
+
+(** SLA-B buyer: gain 2 within [mu], 1 within [5 mu], 0 after. *)
+val sla_b_customer : mu:float -> Sla.t
+
+(** SLA-B internal employee: gain 1 within [10 mu], penalty 10 after. *)
+val sla_b_employee : mu:float -> Sla.t
+
+(** Buyer:employee frequency ratio in SLA-B is 10:1. *)
+val sla_b_customer_weight : int
+
+val sla_b_employee_weight : int
+
+(** SSBM rule: execution time above this many ms means employee SLA. *)
+val ssbm_employee_threshold_ms : float

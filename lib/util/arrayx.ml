@@ -1,0 +1,39 @@
+(* Small array helpers shared by the SLA-tree (binary searches over
+   id-sorted descendant lists) and the test suites. *)
+
+let is_sorted cmp a =
+  let n = Array.length a in
+  let rec loop i = i >= n || (cmp a.(i - 1) a.(i) <= 0 && loop (i + 1)) in
+  loop 1
+
+let is_strictly_sorted cmp a =
+  let n = Array.length a in
+  let rec loop i = i >= n || (cmp a.(i - 1) a.(i) < 0 && loop (i + 1)) in
+  loop 1
+
+(* Index of the largest element <= key in a sorted array, or -1 when all
+   elements exceed key. This is exactly the lookup the SLA-tree performs
+   once at the root of a descendant list. *)
+let find_last_leq cmp a key =
+  let lo = ref (-1) in
+  let hi = ref (Array.length a - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if cmp a.(mid) key <= 0 then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* Index of the first element >= key, or [length a] when none. *)
+let find_first_geq cmp a key =
+  let n = Array.length a in
+  let lo = ref 0 in
+  let hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp a.(mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sum_float a = Array.fold_left ( +. ) 0.0 a
+
+let init_matrix rows cols f = Array.init rows (fun r -> Array.init cols (f r))

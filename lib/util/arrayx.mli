@@ -1,0 +1,20 @@
+(** Array helpers (binary searches over sorted arrays).
+
+    The SLA-tree descendant lists are id-sorted arrays; these searches
+    implement the single root-level lookup of the paper's question
+    answering (Sec 5.1). *)
+
+val is_sorted : ('a -> 'a -> int) -> 'a array -> bool
+val is_strictly_sorted : ('a -> 'a -> int) -> 'a array -> bool
+
+(** [find_last_leq cmp a key] is the index of the largest element of the
+    sorted array [a] that is [<= key], or [-1] when every element is
+    greater. O(log n). *)
+val find_last_leq : ('a -> 'a -> int) -> 'a array -> 'a -> int
+
+(** [find_first_geq cmp a key] is the index of the first element
+    [>= key], or [Array.length a] when none. O(log n). *)
+val find_first_geq : ('a -> 'a -> int) -> 'a array -> 'a -> int
+
+val sum_float : float array -> float
+val init_matrix : int -> int -> (int -> int -> 'a) -> 'a array array

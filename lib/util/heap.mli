@@ -1,0 +1,32 @@
+(** Array-backed binary min-heap.
+
+    Backs the simulator's event queue and priority-based schedulers.
+    All operations are the textbook complexities: [push]/[pop] are
+    O(log n), [peek] is O(1). *)
+
+type 'a t
+
+(** [create cmp] makes an empty heap ordered by [cmp] (minimum first). *)
+val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+(** Smallest element without removing it. *)
+val peek : 'a t -> 'a option
+
+val peek_exn : 'a t -> 'a
+
+(** Remove and return the smallest element. *)
+val pop : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** Elements in unspecified (heap) order. *)
+val to_list : 'a t -> 'a list
+
+val of_list : ('a -> 'a -> int) -> 'a list -> 'a t

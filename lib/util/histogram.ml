@@ -1,0 +1,72 @@
+(* Fixed-bin histograms, linear or base-10 logarithmic, with an ASCII
+   rendering used to reproduce the paper's Figure 15. *)
+
+type scale = Linear | Log10
+
+type t = {
+  scale : scale;
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable count : int;
+}
+
+let create ~scale ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  (match scale with
+  | Log10 when lo <= 0.0 ->
+    invalid_arg "Histogram.create: log scale needs lo > 0"
+  | Log10 | Linear -> ());
+  { scale; lo; hi; bins = Array.make bins 0; underflow = 0; overflow = 0; count = 0 }
+
+let transform scale x = match scale with Linear -> x | Log10 -> log10 x
+
+let bin_index t x =
+  let nbins = Array.length t.bins in
+  match t.scale with
+  | Log10 when x <= 0.0 -> -1
+  | Linear | Log10 ->
+    let lo = transform t.scale t.lo in
+    let hi = transform t.scale t.hi in
+    let v = transform t.scale x in
+    if v < lo then -1
+    else if v >= hi then nbins
+    else int_of_float ((v -. lo) /. (hi -. lo) *. Float.of_int nbins)
+
+let add t x =
+  t.count <- t.count + 1;
+  let i = bin_index t x in
+  if i < 0 then t.underflow <- t.underflow + 1
+  else if i >= Array.length t.bins then t.overflow <- t.overflow + 1
+  else t.bins.(i) <- t.bins.(i) + 1
+
+let counts t = Array.copy t.bins
+let total t = t.count
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  let nbins = Array.length t.bins in
+  if i < 0 || i >= nbins then invalid_arg "Histogram.bin_bounds: index";
+  let lo = transform t.scale t.lo in
+  let hi = transform t.scale t.hi in
+  let w = (hi -. lo) /. Float.of_int nbins in
+  let a = lo +. (Float.of_int i *. w) in
+  let b = a +. w in
+  match t.scale with
+  | Linear -> (a, b)
+  | Log10 -> (10.0 ** a, 10.0 ** b)
+
+let render ?(width = 50) ppf t =
+  let peak = Array.fold_left max 1 t.bins in
+  Array.iteri
+    (fun i n ->
+      let a, b = bin_bounds t i in
+      let bar = String.make (n * width / peak) '#' in
+      Fmt.pf ppf "[%10.4g, %10.4g) %8d %s@." a b n bar)
+    t.bins;
+  if t.underflow > 0 then Fmt.pf ppf "underflow %d@." t.underflow;
+  if t.overflow > 0 then Fmt.pf ppf "overflow  %d@." t.overflow

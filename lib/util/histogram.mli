@@ -1,0 +1,29 @@
+(** Fixed-bin histograms with linear or log10 binning.
+
+    Reproduces the paper's Figure 15 (execution-time histograms for the
+    exponential and Pareto workloads; the Pareto panel is log-scaled). *)
+
+type scale = Linear | Log10
+
+type t
+
+(** [create ~scale ~lo ~hi ~bins] covers [lo, hi) with [bins] equal-width
+    bins in the (possibly log-transformed) domain. *)
+val create : scale:scale -> lo:float -> hi:float -> bins:int -> t
+
+val add : t -> float -> unit
+
+(** Per-bin counts (copy). *)
+val counts : t -> int array
+
+(** Total observations, including under/overflow. *)
+val total : t -> int
+
+val underflow : t -> int
+val overflow : t -> int
+
+(** Bounds of bin [i] in the original (untransformed) domain. *)
+val bin_bounds : t -> int -> float * float
+
+(** ASCII bar rendering. *)
+val render : ?width:int -> Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(* SplitMix64: fast, high-quality 64-bit PRNG with O(1) stream splitting.
+   Used instead of [Random] so that every experiment is reproducible and
+   independent sub-streams can be handed to independent components
+   (arrival process, service times, SLA assignment, estimation noise)
+   without correlation. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  (* Derive an independent stream: one draw seeds the child. *)
+  { state = next_int64 t }
+
+let bits53 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
+
+(* Uniform float in [0, 1). *)
+let float t = Float.of_int (bits53 t) *. 0x1p-53
+
+(* Uniform float in (0, 1]: safe as an argument to [log]. *)
+let float_pos t = 1.0 -. float t
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next_int64 t) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Standard normal via Box-Muller (polar form avoided for simplicity;
+   the trig form has no rejection loop and is deterministic per draw pair). *)
+let gaussian t ~mu ~sigma =
+  let u1 = float_pos t in
+  let u2 = float t in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  -.mean *. log (float_pos t)
+
+let pareto t ~x_min ~alpha =
+  if x_min <= 0.0 || alpha <= 0.0 then
+    invalid_arg "Prng.pareto: parameters must be positive";
+  x_min /. (float_pos t ** (1.0 /. alpha))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

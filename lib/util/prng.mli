@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Every randomized component of the reproduction takes an explicit
+    generator so that experiments are replayable from a single seed and
+    independent components consume independent streams. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state (the copy then evolves
+    independently). *)
+val copy : t -> t
+
+(** [split t] advances [t] once and returns a statistically independent
+    child stream. *)
+val split : t -> t
+
+(** Raw 64-bit draw. *)
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in (0, 1]; safe for [log]. *)
+val float_pos : t -> float
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Normal draw with the given mean and standard deviation. *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** Exponential draw with the given mean (raises if [mean <= 0]). *)
+val exponential : t -> mean:float -> float
+
+(** Pareto draw: support [x_min, infinity), shape [alpha]. *)
+val pareto : t -> x_min:float -> alpha:float -> float
+
+(** Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit

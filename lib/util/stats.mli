@@ -1,0 +1,35 @@
+(** Online summary statistics (Welford's algorithm).
+
+    Numerically stable single-pass mean/variance, used to aggregate
+    per-query profit losses and repeat-level results in the experiment
+    harness. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** NaN when empty. *)
+val mean : t -> float
+
+(** Sum of all observations ([mean * count]). *)
+val total : t -> float
+
+(** Unbiased sample variance; NaN when fewer than two observations. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+(** Combine two summaries as if their observations were concatenated. *)
+val merge : t -> t -> t
+
+val of_array : float array -> t
+val mean_of_array : float array -> float
+
+(** Linear-interpolation percentile, [p] in [0, 100]. *)
+val percentile : float array -> float -> float
+
+val pp : Format.formatter -> t -> unit

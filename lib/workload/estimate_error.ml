@@ -1,0 +1,32 @@
+(* Execution-time estimation error (paper Sec 7.5).
+
+   Decision makers see the estimated execution time; the real execution
+   time is the estimate scaled by a Gaussian factor N(1, sigma^2).
+   A negative or near-zero factor would be nonsensical (queries cannot
+   run in negative time), so draws are clamped below at [floor]. *)
+
+type t = { sigma2 : float; floor : float }
+
+let none = { sigma2 = 0.0; floor = 0.05 }
+
+let gaussian ?(floor = 0.05) ~sigma2 () =
+  if sigma2 < 0.0 then invalid_arg "Estimate_error.gaussian: sigma2 < 0";
+  if floor <= 0.0 then invalid_arg "Estimate_error.gaussian: floor <= 0";
+  { sigma2; floor }
+
+let sigma2 t = t.sigma2
+
+let is_none t = t.sigma2 = 0.0
+
+(* Scale factor for one query. *)
+let draw_factor t rng =
+  if t.sigma2 = 0.0 then 1.0
+  else begin
+    let f = Prng.gaussian rng ~mu:1.0 ~sigma:(sqrt t.sigma2) in
+    Float.max t.floor f
+  end
+
+(* Real execution time given the estimate. *)
+let actual_of_estimate t rng ~estimate = estimate *. draw_factor t rng
+
+let pp ppf t = Fmt.pf ppf "N(1, %g)" t.sigma2

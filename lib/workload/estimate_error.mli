@@ -1,0 +1,20 @@
+(** Execution-time estimation error (paper Sec 7.5): the real execution
+    time is the estimate scaled by a draw from N(1, sigma^2), clamped
+    below to stay positive. *)
+
+type t
+
+(** Perfect estimation (scale factor identically 1). *)
+val none : t
+
+(** [gaussian ~sigma2 ()] with the paper's variances 0.2 and 1.0;
+    [floor] clamps the factor (default 0.05). *)
+val gaussian : ?floor:float -> sigma2:float -> unit -> t
+
+val sigma2 : t -> float
+val is_none : t -> bool
+
+val draw_factor : t -> Prng.t -> float
+val actual_of_estimate : t -> Prng.t -> estimate:float -> float
+
+val pp : Format.formatter -> t -> unit

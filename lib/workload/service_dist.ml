@@ -1,0 +1,82 @@
+(* Query execution-time distributions (paper Sec 7.1).
+
+   All times are in milliseconds, matching the paper's parameters:
+   exponential with mean 20 ms; Pareto with x_min = 1 ms and index 1;
+   SSBM replays the published per-query times (see {!Ssbm}). *)
+
+type t =
+  | Deterministic of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { x_min : float; alpha : float; cap : float option }
+  | Empirical of float array
+
+let deterministic v =
+  if v < 0.0 then invalid_arg "Service_dist.deterministic: negative time";
+  Deterministic v
+
+let uniform ~lo ~hi =
+  if lo < 0.0 || hi < lo then invalid_arg "Service_dist.uniform: bad range";
+  Uniform { lo; hi }
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Service_dist.exponential: mean must be > 0";
+  Exponential { mean }
+
+let pareto ?cap ~x_min ~alpha () =
+  if x_min <= 0.0 || alpha <= 0.0 then
+    invalid_arg "Service_dist.pareto: parameters must be positive";
+  (match cap with
+  | Some c when c <= x_min -> invalid_arg "Service_dist.pareto: cap <= x_min"
+  | Some _ | None -> ());
+  Pareto { x_min; alpha; cap }
+
+let empirical values =
+  if Array.length values = 0 then
+    invalid_arg "Service_dist.empirical: empty sample set";
+  Array.iter
+    (fun v -> if v < 0.0 then invalid_arg "Service_dist.empirical: negative time")
+    values;
+  Empirical (Array.copy values)
+
+let sample t rng =
+  match t with
+  | Deterministic v -> v
+  | Uniform { lo; hi } -> lo +. ((hi -. lo) *. Prng.float rng)
+  | Exponential { mean } -> Prng.exponential rng ~mean
+  | Pareto { x_min; alpha; cap } -> begin
+    let v = Prng.pareto rng ~x_min ~alpha in
+    match cap with Some c -> Float.min v c | None -> v
+  end
+  | Empirical values -> values.(Prng.int rng (Array.length values))
+
+(* Theoretical mean where it exists; [None] for heavy tails
+   (Pareto with alpha <= 1 has an infinite mean — the paper relies on
+   the finite-sample mean instead, Sec 7.1). *)
+let theoretical_mean = function
+  | Deterministic v -> Some v
+  | Uniform { lo; hi } -> Some ((lo +. hi) /. 2.0)
+  | Exponential { mean } -> Some mean
+  | Pareto { x_min; alpha; cap = None } ->
+    if alpha > 1.0 then Some (alpha *. x_min /. (alpha -. 1.0)) else None
+  | Pareto { cap = Some _; _ } -> None
+  | Empirical values ->
+    Some (Arrayx.sum_float values /. Float.of_int (Array.length values))
+
+let empirical_mean t rng ~samples =
+  if samples <= 0 then invalid_arg "Service_dist.empirical_mean: samples";
+  let acc = ref 0.0 in
+  for _ = 1 to samples do
+    acc := !acc +. sample t rng
+  done;
+  !acc /. Float.of_int samples
+
+let pp ppf = function
+  | Deterministic v -> Fmt.pf ppf "deterministic(%g)" v
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform[%g, %g]" lo hi
+  | Exponential { mean } -> Fmt.pf ppf "exp(mean=%g)" mean
+  | Pareto { x_min; alpha; cap } ->
+    Fmt.pf ppf "pareto(x_min=%g, alpha=%g%a)" x_min alpha
+      Fmt.(option (fun ppf c -> pf ppf ", cap=%g" c))
+      cap
+  | Empirical values -> Fmt.pf ppf "empirical(%d values)" (Array.length values)

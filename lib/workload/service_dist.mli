@@ -1,0 +1,25 @@
+(** Query execution-time distributions (paper Sec 7.1). Times in ms. *)
+
+type t
+
+val deterministic : float -> t
+val uniform : lo:float -> hi:float -> t
+val exponential : mean:float -> t
+
+(** Heavy-tailed Pareto; [cap] optionally truncates draws (off in the
+    paper's configuration). *)
+val pareto : ?cap:float -> x_min:float -> alpha:float -> unit -> t
+
+(** Uniform sampling over a fixed set of values (SSBM-style). *)
+val empirical : float array -> t
+
+val sample : t -> Prng.t -> float
+
+(** [None] when the mean does not exist (Pareto, alpha <= 1) or is not
+    closed-form (capped Pareto). *)
+val theoretical_mean : t -> float option
+
+(** Monte-Carlo mean over [samples] draws. *)
+val empirical_mean : t -> Prng.t -> samples:int -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+(** The SSBM workload trace (paper Table 1): the 13 published per-query
+    execution times, sampled uniformly. *)
+
+type entry = { name : string; time_ms : float }
+
+val queries : entry array
+val count : int
+val times_ms : float array
+
+(** 10.2 ms, the paper's reported average. *)
+val mean_time_ms : float
+
+val sample : Prng.t -> entry
+
+(** The same workload as a {!Service_dist.t}. *)
+val dist : Service_dist.t
+
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,39 @@
+(** Materialized simulation inputs: Poisson arrivals, per-query sizes,
+    SLAs and estimation errors, all derived from one seed. *)
+
+type config = {
+  kind : Workloads.kind;
+  profile : Workloads.sla_profile;
+  load : float;
+      (** system load rho; the arrival rate is calibrated against the
+          trace's empirical mean size so utilization equals rho even
+          for heavy-tailed workloads *)
+  servers : int;
+  n_queries : int;
+  error : Estimate_error.t;
+  seed : int;
+}
+
+val config :
+  ?error:Estimate_error.t ->
+  kind:Workloads.kind ->
+  profile:Workloads.sla_profile ->
+  load:float ->
+  servers:int ->
+  n_queries:int ->
+  seed:int ->
+  unit ->
+  config
+
+(** Nominal queries/ms if the workload mean held exactly (the realized
+    rate is re-calibrated per trace). *)
+val arrival_rate : config -> float
+
+(** Generate the queries, ordered and numbered by arrival. Independent
+    PRNG sub-streams per component keep comparisons paired across
+    configuration changes. *)
+val generate : config -> Query.t array
+
+(** Copy of the config with a different server count (the generated
+    trace itself is reused for capacity-planning ground truth). *)
+val with_servers : config -> int -> config

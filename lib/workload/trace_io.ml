@@ -1,0 +1,93 @@
+(* Trace persistence: save generated workloads to a simple CSV-ish
+   text format and replay them later, so an interesting run (e.g. a
+   heavy-tailed trace with a pathological monster query) can be shared
+   and re-analysed byte-for-byte.
+
+   Format (one query per line, after a version header):
+     id,arrival,size,est_size,penalty,b1:g1|b2:g2|...
+   Floats are printed with %.17g so round-trips are exact. *)
+
+let header = "# slatree-trace v1"
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let string_of_sla sla =
+  let levels =
+    Sla.levels sla
+    |> List.map (fun { Sla.bound; gain } -> Printf.sprintf "%.17g:%.17g" bound gain)
+    |> String.concat "|"
+  in
+  Printf.sprintf "%.17g,%s" (Sla.penalty sla) levels
+
+let string_of_query q =
+  Printf.sprintf "%d,%.17g,%.17g,%.17g,%s" q.Query.id q.Query.arrival
+    q.Query.size q.Query.est_size
+    (string_of_sla q.Query.sla)
+
+let float_of_field name s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> parse_error "bad %s: %S" name s
+
+let sla_of_strings ~penalty ~levels_str =
+  let levels =
+    String.split_on_char '|' levels_str
+    |> List.map (fun pair ->
+           match String.split_on_char ':' pair with
+           | [ b; g ] ->
+             {
+               Sla.bound = float_of_field "level bound" b;
+               gain = float_of_field "level gain" g;
+             }
+           | _ -> parse_error "bad SLA level: %S" pair)
+  in
+  Sla.make ~levels ~penalty
+
+let query_of_string line =
+  match String.split_on_char ',' line with
+  | [ id; arrival; size; est_size; penalty; levels_str ] ->
+    let id =
+      match int_of_string_opt id with
+      | Some v -> v
+      | None -> parse_error "bad id: %S" id
+    in
+    let sla =
+      try sla_of_strings ~penalty:(float_of_field "penalty" penalty) ~levels_str
+      with Sla.Invalid msg -> parse_error "invalid SLA: %s" msg
+    in
+    Query.make ~id
+      ~arrival:(float_of_field "arrival" arrival)
+      ~size:(float_of_field "size" size)
+      ~est_size:(float_of_field "est_size" est_size)
+      ~sla ()
+  | _ -> parse_error "bad query line: %S" line
+
+let save path queries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      Array.iter
+        (fun q ->
+          output_string oc (string_of_query q);
+          output_char oc '\n')
+        queries)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let first = try input_line ic with End_of_file -> parse_error "empty file" in
+      if first <> header then parse_error "missing header (got %S)" first;
+      let rec go acc =
+        match input_line ic with
+        | line when String.trim line = "" -> go acc
+        | line -> go (query_of_string line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      Array.of_list (go []))

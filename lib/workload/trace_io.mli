@@ -1,0 +1,14 @@
+(** Save/replay traces as a line-oriented text format with exact float
+    round-trips. *)
+
+exception Parse_error of string
+
+(** One-line encodings (exposed for tests). *)
+val string_of_query : Query.t -> string
+
+val query_of_string : string -> Query.t
+
+val save : string -> Query.t array -> unit
+
+(** Raises {!Parse_error} on malformed input. *)
+val load : string -> Query.t array

@@ -1,0 +1,190 @@
+(* Tests for the analytic queueing module: Erlang C against known
+   values, tail sanity, and cross-validation of the simulator. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float_eps eps = Alcotest.(check (float eps))
+
+let test_erlang_c_single_server () =
+  (* m = 1: the waiting probability is exactly rho. *)
+  List.iter
+    (fun rho ->
+      check_float_eps 1e-12 "C = rho" rho
+        (Queueing.erlang_c ~servers:1 ~offered_load:rho))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_erlang_c_known_value () =
+  (* Textbook value: m = 2, a = 1 -> C = 1/3. *)
+  check_float_eps 1e-9 "m=2,a=1" (1.0 /. 3.0)
+    (Queueing.erlang_c ~servers:2 ~offered_load:1.0);
+  (* m = 3, a = 2: C = (8/6)/( (1-2/3)(1+2+2) + 8/6 ) / ... direct:
+     a^3/3! = 8/6; sum_{k<3} a^k/k! = 1 + 2 + 2 = 5; rho = 2/3;
+     top = (8/6)/(1/3) = 4; C = 4/(5+4) = 4/9. *)
+  check_float_eps 1e-9 "m=3,a=2" (4.0 /. 9.0)
+    (Queueing.erlang_c ~servers:3 ~offered_load:2.0)
+
+let test_erlang_c_bounds () =
+  check_bool "unstable -> 1" true
+    (Queueing.erlang_c ~servers:2 ~offered_load:2.5 = 1.0);
+  check_float_eps 1e-12 "no load -> 0" 0.0
+    (Queueing.erlang_c ~servers:3 ~offered_load:0.0);
+  let c = Queueing.erlang_c ~servers:5 ~offered_load:3.0 in
+  check_bool "in (0,1)" true (c > 0.0 && c < 1.0)
+
+let test_mm1_tail_closed_form () =
+  (* M/M/1: P(R > t) = exp(-(mu - lambda) t). *)
+  let mu = 1.0 /. 20.0 in
+  let lambda = 0.7 *. mu in
+  List.iter
+    (fun t ->
+      check_float_eps 1e-9 "textbook tail"
+        (exp (-.(mu -. lambda) *. t))
+        (Queueing.mm1_response_tail ~arrival_rate:lambda ~service_rate:mu ~t))
+    [ 0.0; 10.0; 40.0; 100.0 ]
+
+let test_mmm_tail_properties () =
+  let mu = 0.05 and lambda = 0.12 in
+  let tail t = Queueing.mmm_response_tail ~servers:3 ~arrival_rate:lambda ~service_rate:mu ~t in
+  check_float_eps 1e-9 "starts at 1" 1.0 (tail 0.0);
+  check_bool "monotone decreasing" true (tail 10.0 > tail 30.0 && tail 30.0 > tail 100.0);
+  check_bool "vanishes" true (tail 2000.0 < 1e-6);
+  check_bool "negative t" true (tail (-5.0) = 1.0)
+
+let test_mmm_tail_matches_simulation_m1 () =
+  (* Exponential workload, FCFS, single server: simulated miss rate at
+     the SLA-A deadline equals the analytic tail. *)
+  let load = 0.7 in
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load ~servers:1
+         ~n_queries:12_000 ~seed:77 ())
+  in
+  let metrics = Metrics.create ~warmup_id:4_000 in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(fun ~now:_ _ -> 0)
+    ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
+    ~metrics ();
+  let mu = 1.0 /. 20.0 in
+  let analytic =
+    Queueing.mm1_response_tail ~arrival_rate:(load *. mu) ~service_rate:mu ~t:40.0
+  in
+  check_bool
+    (Printf.sprintf "sim %.4f vs analytic %.4f" (Metrics.avg_loss metrics) analytic)
+    true
+    (Float.abs (Metrics.avg_loss metrics -. analytic) < 0.03)
+
+let test_mmm_mean_response () =
+  (* m = 1: W = 1/(mu - lambda). *)
+  let mu = 0.05 in
+  let lambda = 0.8 *. mu in
+  check_float_eps 1e-9 "m=1 mean" (1.0 /. (mu -. lambda))
+    (Queueing.mmm_mean_response ~servers:1 ~arrival_rate:lambda ~service_rate:mu);
+  check_bool "unstable -> infinity" true
+    (Queueing.mmm_mean_response ~servers:2 ~arrival_rate:0.2 ~service_rate:0.05
+    = infinity)
+
+let test_expected_sla_loss () =
+  (* 1/0 SLA: expected loss is exactly the tail at the bound. *)
+  let mu = 0.05 and lambda = 0.035 in
+  let sla = Sla.one_zero ~bound:40.0 in
+  let tail =
+    Queueing.mm1_response_tail ~arrival_rate:lambda ~service_rate:mu ~t:40.0
+  in
+  check_float_eps 1e-9 "1/0 loss = tail" tail
+    (Queueing.expected_sla_loss sla ~servers:1 ~arrival_rate:lambda
+       ~service_rate:mu);
+  (* Stepwise with penalty: loss in [0, max_gain + penalty]. *)
+  let sla2 =
+    Sla.make ~levels:[ { bound = 20.0; gain = 2.0 }; { bound = 100.0; gain = 1.0 } ]
+      ~penalty:3.0
+  in
+  let loss =
+    Queueing.expected_sla_loss sla2 ~servers:1 ~arrival_rate:lambda
+      ~service_rate:mu
+  in
+  check_bool "bounded" true (loss > 0.0 && loss <= 5.0)
+
+let test_mg1_reduces_to_mm1 () =
+  (* Exponential service: E[S^2] = 2/mu^2, so P-K gives the M/M/1
+     mean wait rho/(mu - lambda). *)
+  let mu = 0.05 in
+  let lambda = 0.7 *. mu in
+  let mean_service = 1.0 /. mu in
+  let second_moment = 2.0 /. (mu *. mu) in
+  let pk = Queueing.mg1_mean_wait ~arrival_rate:lambda ~mean_service ~second_moment in
+  (* Textbook M/M/1 mean wait: rho/(mu - lambda). *)
+  check_float_eps 1e-9 "matches M/M/1" (0.7 /. (mu -. lambda)) pk
+
+let test_mg1_matches_ssbm_simulation () =
+  (* SSBM service moments are exact; the simulated FCFS mean response
+     must match Pollaczek-Khinchine. *)
+  let load = 0.7 in
+  let times = Ssbm.times_ms in
+  let n = Float.of_int (Array.length times) in
+  let mean_service = Array.fold_left ( +. ) 0.0 times /. n in
+  let second_moment =
+    Array.fold_left (fun acc t -> acc +. (t *. t)) 0.0 times /. n
+  in
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Ssbm_wl ~profile:Workloads.Sla_a ~load
+         ~servers:1 ~n_queries:16_000 ~seed:123 ())
+  in
+  let metrics = Metrics.create ~warmup_id:6_000 in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(fun ~now:_ _ -> 0)
+    ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
+    ~metrics ();
+  let arrival_rate = load /. mean_service in
+  let analytic =
+    Queueing.mg1_mean_response ~arrival_rate ~mean_service ~second_moment
+  in
+  let sim = Metrics.avg_response metrics in
+  check_bool
+    (Printf.sprintf "sim %.2f ms vs P-K %.2f ms" sim analytic)
+    true
+    (Float.abs (sim -. analytic) /. analytic < 0.1)
+
+let test_mg1_unstable () =
+  check_bool "rho >= 1 -> infinity" true
+    (Queueing.mg1_mean_wait ~arrival_rate:0.2 ~mean_service:10.0
+       ~second_moment:200.0
+    = infinity)
+
+let prop_tail_decreasing_in_servers =
+  QCheck.Test.make ~name:"more servers, lighter tail (same arrival rate)" ~count:100
+    QCheck.(pair (QCheck.float_range 0.01 0.04) (QCheck.float_range 5.0 100.0))
+    (fun (lambda, t) ->
+      let mu = 0.05 in
+      let tail m = Queueing.mmm_response_tail ~servers:m ~arrival_rate:lambda ~service_rate:mu ~t in
+      tail 2 >= tail 3 -. 1e-9 && tail 3 >= tail 5 -. 1e-9)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "analytic"
+    [
+      ( "erlang-c",
+        [
+          Alcotest.test_case "single server" `Quick test_erlang_c_single_server;
+          Alcotest.test_case "known values" `Quick test_erlang_c_known_value;
+          Alcotest.test_case "bounds" `Quick test_erlang_c_bounds;
+        ] );
+      ( "response-tail",
+        [
+          Alcotest.test_case "M/M/1 closed form" `Quick test_mm1_tail_closed_form;
+          Alcotest.test_case "M/M/m properties" `Quick test_mmm_tail_properties;
+          Alcotest.test_case "matches simulation (m=1)" `Slow
+            test_mmm_tail_matches_simulation_m1;
+          Alcotest.test_case "mean response" `Quick test_mmm_mean_response;
+          qtest prop_tail_decreasing_in_servers;
+        ] );
+      ( "sla-loss",
+        [ Alcotest.test_case "expected loss" `Quick test_expected_sla_loss ] );
+      ( "mg1",
+        [
+          Alcotest.test_case "reduces to M/M/1" `Quick test_mg1_reduces_to_mm1;
+          Alcotest.test_case "matches SSBM simulation" `Slow
+            test_mg1_matches_ssbm_simulation;
+          Alcotest.test_case "unstable" `Quick test_mg1_unstable;
+        ] );
+    ]

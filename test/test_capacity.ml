@@ -1,0 +1,113 @@
+(* Tests for capacity planning: the fictitious-server margin estimate
+   and the replayed ground truth (paper Secs 6.3, 7.4). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_queries ?(n = 3_000) ?(load = 0.9) ?(servers = 2) ?(seed = 42) () =
+  Trace.generate
+    (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load ~servers
+       ~n_queries:n ~seed ())
+
+let planner = Planner.cbs ~rate:(1.0 /. 20.0)
+let scheduler = Schedulers.cbs_sla_tree ~rate:(1.0 /. 20.0)
+
+let test_estimation_runs_and_measures () =
+  let queries = make_queries () in
+  let metrics, est =
+    Capacity.run_with_estimation ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:1_000
+  in
+  check_int "all completed" 3_000 (Metrics.completed_count metrics);
+  check_int "measured window" 2_000 est.Capacity.measured;
+  check_bool "estimate is finite" true (Float.is_finite est.Capacity.est_margin_per_query)
+
+let test_estimate_nonnegative_under_load () =
+  (* g0 (idle server) can never be worse than the best real insertion:
+     an idle server both serves the query sooner and displaces
+     nothing. *)
+  let queries = make_queries ~load:0.95 () in
+  let _, est =
+    Capacity.run_with_estimation ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:1_000
+  in
+  check_bool "margin >= 0" true (est.Capacity.est_margin_per_query >= -1e-9)
+
+let test_ground_truth_positive_when_congested () =
+  let queries = make_queries ~load:0.95 ~servers:2 () in
+  let gt =
+    Capacity.ground_truth ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:1_000
+  in
+  check_bool "extra server helps a congested system" true (gt > 0.0)
+
+let test_ground_truth_near_zero_when_overprovisioned () =
+  (* The paper's first extreme case (Sec 6.3): an over-provisioned
+     system gains almost nothing from yet another server. *)
+  let queries = make_queries ~load:0.1 ~servers:8 () in
+  let gt =
+    Capacity.ground_truth ~queries ~n_servers:8 ~planner ~scheduler
+      ~warmup_id:1_000
+  in
+  check_bool "no headroom worth buying" true (Float.abs gt < 0.01)
+
+let test_estimate_tracks_ground_truth () =
+  (* The estimate should land in the same ballpark as the replayed
+     truth (the paper's Table 4 shows agreement within a small absolute
+     error). *)
+  let queries = make_queries ~n:6_000 ~load:0.9 ~servers:2 ~seed:7 () in
+  let _, est =
+    Capacity.run_with_estimation ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:3_000
+  in
+  let gt =
+    Capacity.ground_truth ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:3_000
+  in
+  (* The paper's Table 4 shows the estimate over- or under-shooting
+     the truth by up to ~1.8x at small server counts; we require the
+     same ballpark (within 3x plus a small absolute slack), same
+     sign. *)
+  let e = est.Capacity.est_margin_per_query in
+  check_bool
+    (Printf.sprintf "est %.4f vs gt %.4f" e gt)
+    true
+    (e >= (gt /. 3.0) -. 0.02 && e <= (gt *. 3.0) +. 0.02)
+
+let test_margin_decreases_with_servers () =
+  (* More servers at the same system load -> smaller marginal value
+     (the Table 4 trend). *)
+  let margin m =
+    let queries = make_queries ~n:4_000 ~servers:m ~seed:11 () in
+    let _, est =
+      Capacity.run_with_estimation ~queries ~n_servers:m ~planner ~scheduler
+        ~warmup_id:2_000
+    in
+    est.Capacity.est_margin_per_query
+  in
+  let m2 = margin 2 and m8 = margin 8 in
+  check_bool (Printf.sprintf "m2 %.4f > m8 %.4f" m2 m8) true (m2 > m8)
+
+let () =
+  Alcotest.run "capacity"
+    [
+      ( "estimation",
+        [
+          Alcotest.test_case "runs and measures" `Quick test_estimation_runs_and_measures;
+          Alcotest.test_case "margin non-negative" `Quick
+            test_estimate_nonnegative_under_load;
+        ] );
+      ( "ground-truth",
+        [
+          Alcotest.test_case "positive when congested" `Quick
+            test_ground_truth_positive_when_congested;
+          Alcotest.test_case "near zero when over-provisioned" `Quick
+            test_ground_truth_near_zero_when_overprovisioned;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "estimate tracks truth" `Slow test_estimate_tracks_ground_truth;
+          Alcotest.test_case "margin decreases with servers" `Slow
+            test_margin_decreases_with_servers;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the incremental SLA-tree: every answer must equal a fresh
+   static SLA-tree built over the same live schedule, across pops
+   (with and without drift), appends, drains and random operation
+   sequences. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let sla2 =
+  Sla.make
+    ~levels:[ { bound = 30.0; gain = 2.0 }; { bound = 80.0; gain = 1.0 } ]
+    ~penalty:1.0
+
+let mk ?(sla = sla2) id arrival size = Query.make ~id ~arrival ~size ~sla ()
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a +. Float.abs b)
+
+(* Oracle: a fresh static tree over the incremental structure's live
+   schedule. *)
+let static_of t = Sla_tree.of_entries ~now:0.0 (Incr_sla_tree.to_entries t)
+
+let agree t ~msg =
+  let n = Incr_sla_tree.length t in
+  if n > 0 then begin
+    let oracle = static_of t in
+    List.iter
+      (fun tau ->
+        for m = 0 to n - 1 do
+          let hi = n - 1 in
+          let a = Incr_sla_tree.postpone t ~m ~n:hi ~tau in
+          let b = Sla_tree.postpone oracle ~m ~n:hi ~tau in
+          if not (close a b) then
+            Alcotest.failf "%s: postpone(%d,%d,%g) incr %.9f vs static %.9f" msg m
+              hi tau a b;
+          let a = Incr_sla_tree.expedite t ~m ~n:hi ~tau in
+          let b = Sla_tree.expedite oracle ~m ~n:hi ~tau in
+          if not (close a b) then
+            Alcotest.failf "%s: expedite(%d,%d,%g) incr %.9f vs static %.9f" msg m
+              hi tau a b
+        done)
+      [ 0.0; 1.0; 7.5; 25.0; 60.0; 200.0 ]
+  end
+
+let initial_buffer n =
+  Array.init n (fun i -> mk i (Float.of_int i *. 3.0) (5.0 +. Float.of_int (i mod 7)))
+
+let test_fresh_matches_static () =
+  let t = Incr_sla_tree.create ~now:50.0 (initial_buffer 12) in
+  agree t ~msg:"fresh"
+
+let test_pop_exact () =
+  let t = Incr_sla_tree.create ~now:50.0 (initial_buffer 12) in
+  Incr_sla_tree.pop_head t;
+  agree t ~msg:"after 1 exact pop";
+  Incr_sla_tree.pop_head t;
+  Incr_sla_tree.pop_head t;
+  agree t ~msg:"after 3 exact pops";
+  check_float "no drift" 0.0 (Incr_sla_tree.delay t);
+  check_int "no rebuild yet" 0 (Incr_sla_tree.rebuild_count t)
+
+let test_pop_with_drift () =
+  let t = Incr_sla_tree.create ~now:50.0 (initial_buffer 12) in
+  (* First query (est 5) actually takes 9: everything shifts by +4. *)
+  Incr_sla_tree.pop_head ~actual:9.0 t;
+  check_float "positive drift" 4.0 (Incr_sla_tree.delay t);
+  agree t ~msg:"after slow pop";
+  (* Next one finishes early: drift partially cancels. *)
+  Incr_sla_tree.pop_head ~actual:1.0 t;
+  check_float "drift netted" (4.0 -. 5.0) (Incr_sla_tree.delay t);
+  agree t ~msg:"after fast pop"
+
+let test_pop_large_negative_drift () =
+  (* Strong negative drift un-lates queries that were past their
+     deadlines: the S- correction terms must kick in. *)
+  let tight = Sla.make ~levels:[ { bound = 4.0; gain = 3.0 } ] ~penalty:0.0 in
+  let qs = Array.init 6 (fun i -> mk ~sla:tight i 0.0 5.0) in
+  let t = Incr_sla_tree.create ~now:0.0 qs in
+  (* All except the head are hopelessly late on the planned schedule. *)
+  Incr_sla_tree.pop_head ~actual:0.5 t;
+  agree t ~msg:"after very fast pop";
+  Incr_sla_tree.pop_head ~actual:0.5 t;
+  agree t ~msg:"after two very fast pops"
+
+let test_append_matches () =
+  let t = Incr_sla_tree.create ~now:50.0 (initial_buffer 6) in
+  Incr_sla_tree.append t (mk 100 60.0 4.0);
+  check_int "one pending" 1 (Incr_sla_tree.pending_count t);
+  agree t ~msg:"after 1 append";
+  Incr_sla_tree.append t (mk 101 61.0 9.0);
+  Incr_sla_tree.append t (mk 102 62.0 2.0);
+  agree t ~msg:"after 3 appends"
+
+let test_append_after_drift () =
+  let t = Incr_sla_tree.create ~now:50.0 (initial_buffer 6) in
+  Incr_sla_tree.pop_head ~actual:11.0 t;
+  Incr_sla_tree.append t (mk 100 70.0 4.0);
+  agree t ~msg:"append on drifted schedule";
+  Incr_sla_tree.pop_head ~actual:2.0 t;
+  agree t ~msg:"drift after append"
+
+let test_rebuild_triggered_by_appends () =
+  let t = Incr_sla_tree.create ~now:0.0 (initial_buffer 4) in
+  for i = 0 to 19 do
+    Incr_sla_tree.append t (mk (100 + i) (Float.of_int i) 3.0)
+  done;
+  check_bool "rebuilt at least once" true (Incr_sla_tree.rebuild_count t > 0);
+  check_bool "overflow stayed bounded" true (Incr_sla_tree.pending_count t <= 13);
+  agree t ~msg:"after many appends"
+
+let test_drain_and_restart () =
+  let t = Incr_sla_tree.create ~now:10.0 (initial_buffer 3) in
+  Incr_sla_tree.pop_head ~actual:6.0 t;
+  Incr_sla_tree.pop_head t;
+  Incr_sla_tree.pop_head t;
+  check_int "empty" 0 (Incr_sla_tree.length t);
+  (* Server idles, then traffic resumes. *)
+  Incr_sla_tree.reset_origin t ~now:500.0;
+  Incr_sla_tree.append t (mk 50 500.0 10.0);
+  agree t ~msg:"restarted after drain";
+  (* The restarted query starts at 500: completion 510; unit slacks 20
+     (decomposed gain g1 - g2 = 1) and 70 (gain g2 + p = 2). *)
+  check_float "first unit lost" 1.0 (Incr_sla_tree.postpone t ~m:0 ~n:0 ~tau:20.5);
+  check_float "both units lost" 3.0 (Incr_sla_tree.postpone t ~m:0 ~n:0 ~tau:70.5)
+
+let test_pop_pending_only () =
+  (* Popping when only pending queries remain promotes them first. *)
+  let t = Incr_sla_tree.create ~now:0.0 (initial_buffer 1) in
+  Incr_sla_tree.append t (mk 10 1.0 2.0);
+  Incr_sla_tree.append t (mk 11 2.0 2.0);
+  Incr_sla_tree.pop_head t;
+  (* base drained; next pop must promote pending *)
+  Incr_sla_tree.pop_head t;
+  check_int "one left" 1 (Incr_sla_tree.length t);
+  agree t ~msg:"after pending promotion"
+
+let test_errors () =
+  let t = Incr_sla_tree.create ~now:0.0 [||] in
+  check_bool "pop empty raises" true
+    (match Incr_sla_tree.pop_head t with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Incr_sla_tree.append t (mk 0 0.0 1.0);
+  check_bool "reset non-empty raises" true
+    (match Incr_sla_tree.reset_origin t ~now:10.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad range raises" true
+    (match Incr_sla_tree.postpone t ~m:0 ~n:5 ~tau:1.0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Random operation sequences vs the static oracle. *)
+
+type op = Append of float * float | Pop of float | Check of float
+
+let gen_ops =
+  QCheck.Gen.(
+    let op =
+      frequency
+        [
+          (3, map2 (fun s b -> Append (s, b)) (float_range 0.5 20.0) (float_range 2.0 120.0));
+          (3, map (fun f -> Pop f) (float_range 0.1 2.5));
+          (2, map (fun tau -> Check tau) (float_range 0.0 150.0));
+        ]
+    in
+    list_size (5 -- 60) op)
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Append (s, b) -> Printf.sprintf "A(%.2f,%.2f)" s b
+             | Pop f -> Printf.sprintf "P(%.2f)" f
+             | Check tau -> Printf.sprintf "C(%.2f)" tau)
+           ops))
+    gen_ops
+
+let prop_random_ops_match_oracle =
+  QCheck.Test.make ~name:"random op sequences match static oracle" ~count:200
+    arb_ops
+    (fun ops ->
+      let t = Incr_sla_tree.create ~now:0.0 (initial_buffer 5) in
+      let next_id = ref 1000 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Append (size, bound) ->
+            let sla = Sla.make ~levels:[ { bound; gain = 1.5 } ] ~penalty:0.5 in
+            incr next_id;
+            Incr_sla_tree.append t
+              (Query.make ~id:!next_id ~arrival:(Float.of_int !next_id) ~size ~sla ())
+          | Pop factor ->
+            if Incr_sla_tree.length t > 0 then begin
+              let entries = Incr_sla_tree.to_entries t in
+              let est = entries.(0).Schedule.query.Query.est_size in
+              Incr_sla_tree.pop_head ~actual:(est *. factor) t
+            end
+          | Check tau ->
+            let n = Incr_sla_tree.length t in
+            if n > 0 then begin
+              let oracle = static_of t in
+              let m = n / 3 and hi = n - 1 in
+              if
+                not
+                  (close
+                     (Incr_sla_tree.postpone t ~m ~n:hi ~tau)
+                     (Sla_tree.postpone oracle ~m ~n:hi ~tau))
+              then ok := false;
+              if
+                not
+                  (close
+                     (Incr_sla_tree.expedite t ~m:0 ~n:hi ~tau)
+                     (Sla_tree.expedite oracle ~m:0 ~n:hi ~tau))
+              then ok := false
+            end)
+        ops;
+      !ok)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "fresh matches static" `Quick test_fresh_matches_static;
+          Alcotest.test_case "pop exact" `Quick test_pop_exact;
+          Alcotest.test_case "pop with drift" `Quick test_pop_with_drift;
+          Alcotest.test_case "large negative drift" `Quick test_pop_large_negative_drift;
+          Alcotest.test_case "append" `Quick test_append_matches;
+          Alcotest.test_case "append after drift" `Quick test_append_after_drift;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "rebuild on append overflow" `Quick
+            test_rebuild_triggered_by_appends;
+          Alcotest.test_case "drain and restart" `Quick test_drain_and_restart;
+          Alcotest.test_case "pop promotes pending" `Quick test_pop_pending_only;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("property", [ qtest prop_random_ops_match_oracle ]);
+    ]

@@ -1,0 +1,204 @@
+(* Integration tests: full pipeline runs that cross every library
+   boundary (workload -> sim -> schedulers/dispatchers -> metrics),
+   plus determinism of the experiment harness. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let fcfs_dispatch = Dispatchers.round_robin
+
+let run scheduler ~queries ~warmup =
+  let metrics = Metrics.create ~warmup_id:warmup in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(Schedulers.pick scheduler)
+    ~dispatch:(Dispatchers.instantiate fcfs_dispatch)
+    ~metrics ();
+  metrics
+
+let test_full_pipeline_all_schedulers () =
+  (* One congested SLA-B trace through all four Table 2 policies: all
+     queries complete, losses are finite, and both SLA-tree variants
+     beat their baselines. *)
+  let cfg =
+    Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:0.9
+      ~servers:1 ~n_queries:4_000 ~seed:555 ()
+  in
+  let queries = Trace.generate cfg in
+  let rate = 1.0 /. 20.0 in
+  let losses =
+    List.map
+      (fun s ->
+        let m = run s ~queries ~warmup:2_000 in
+        check_int "completed" 4_000 (Metrics.completed_count m);
+        (Schedulers.name s, Metrics.avg_loss m))
+      [
+        Schedulers.fcfs;
+        Schedulers.fcfs_sla_tree;
+        Schedulers.cbs ~rate;
+        Schedulers.cbs_sla_tree ~rate;
+      ]
+  in
+  let get n = List.assoc n losses in
+  check_bool "FCFS+SLA-tree <= FCFS" true
+    (get "FCFS+SLA-tree" <= get "FCFS" +. 1e-9);
+  check_bool "CBS+SLA-tree <= CBS + noise" true
+    (get "CBS+SLA-tree" <= get "CBS" +. 0.05)
+
+let test_online_shop_scenario () =
+  (* The introduction's motivating scenario: a mixed buyer/employee
+     workload where employees carry a big penalty. SLA-tree scheduling
+     must reduce the number of employee-penalty events versus FCFS. *)
+  let cfg =
+    Trace.config ~kind:Workloads.Ssbm_wl ~profile:Workloads.Sla_b ~load:0.9
+      ~servers:1 ~n_queries:4_000 ~seed:777 ()
+  in
+  let queries = Trace.generate cfg in
+  let m_fcfs = run Schedulers.fcfs ~queries ~warmup:2_000 in
+  let m_tree = run Schedulers.fcfs_sla_tree ~queries ~warmup:2_000 in
+  check_bool
+    (Printf.sprintf "tree profit %.3f >= fcfs profit %.3f"
+       (Metrics.avg_profit m_tree) (Metrics.avg_profit m_fcfs))
+    true
+    (Metrics.avg_profit m_tree >= Metrics.avg_profit m_fcfs -. 1e-9)
+
+let test_harness_determinism () =
+  (* Same scale, same seeds, same machine: identical numbers. *)
+  let tiny : Exp_scale.t =
+    { n_queries = 500; warmup = 250; repeats = 2; base_seed = 99 }
+  in
+  let once () =
+    Table2.compute ~profiles:[ Workloads.Sla_a ] ~kinds:[ Workloads.Ssbm_wl ]
+      ~loads:[ 0.9 ] tiny
+  in
+  let a = once () and b = once () in
+  List.iter2
+    (fun (x : Table2.cell) (y : Table2.cell) ->
+      check_float "identical loss" x.avg_loss y.avg_loss)
+    a b
+
+let test_seed_isolation_between_policies () =
+  (* Two different policies on the same config see the same trace:
+     arrival times and sizes must match exactly (paired comparison). *)
+  let cfg ~seed =
+    Trace.config ~kind:Workloads.Pareto ~profile:Workloads.Sla_a ~load:0.9
+      ~servers:1 ~n_queries:300 ~seed ()
+  in
+  let a = Trace.generate (cfg ~seed:3) in
+  let b = Trace.generate (cfg ~seed:3) in
+  Array.iteri
+    (fun i q -> check_float "same trace" q.Query.size b.(i).Query.size)
+    a
+
+let test_tree_what_if_consistent_with_sim () =
+  (* Ask the SLA-tree a postpone question about a fixed buffer, then
+     actually delay the buffer's execution by running a blocking query
+     first in the simulator; realized profit loss must equal the
+     tree's answer. *)
+  let sla = Sla.one_zero ~bound:50.0 in
+  let buffered =
+    Array.init 5 (fun i ->
+        Query.make ~id:i ~arrival:0.0 ~size:10.0 ~sla ())
+  in
+  let tree = Sla_tree.build ~now:0.0 buffered in
+  let tau = 10.0 in
+  let predicted = Sla_tree.postpone tree ~m:0 ~n:4 ~tau in
+  (* Realize both worlds. *)
+  let profit_of queries =
+    let metrics = Metrics.create ~warmup_id:0 in
+    Sim.run ~queries ~n_servers:1
+      ~pick_next:(fun ~now:_ _ -> 0)
+      ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
+      ~metrics ();
+    Metrics.total_profit metrics
+  in
+  let base = profit_of buffered in
+  let blocker =
+    (* Arrives with the rest but runs first (id -1 -> placed first),
+       worthless itself: bound tiny so it never earns. *)
+    Query.make ~id:5 ~arrival:0.0 ~size:tau
+      ~sla:(Sla.make ~levels:[ { bound = 1e-9 +. 1.0; gain = 1e-12 } ] ~penalty:0.0)
+      ()
+  in
+  let delayed = Array.append [| blocker |] buffered in
+  let with_blocker = profit_of delayed -. 0.0 in
+  (* Subtract whatever the blocker itself earned (0 or epsilon). *)
+  let realized_loss = base -. (with_blocker -. 0.0) in
+  check_bool
+    (Printf.sprintf "predicted %.6f ~ realized %.6f" predicted realized_loss)
+    true
+    (Float.abs (predicted -. realized_loss) < 1e-6)
+
+let test_capacity_pipeline () =
+  (* Capacity estimation through the full stack on a short trace. *)
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load:0.9
+         ~servers:2 ~n_queries:1_000 ~seed:12 ())
+  in
+  let planner = Planner.cbs ~rate:(1.0 /. 20.0) in
+  let scheduler = Schedulers.cbs_sla_tree ~rate:(1.0 /. 20.0) in
+  let metrics, est =
+    Capacity.run_with_estimation ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:500
+  in
+  check_int "completed" 1_000 (Metrics.completed_count metrics);
+  check_bool "estimate finite" true (Float.is_finite est.Capacity.est_margin_per_query)
+
+let test_admission_control_pipeline () =
+  (* With admission control on a saturated single server, some queries
+     are rejected and the rest still complete. *)
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:1.5
+         ~servers:1 ~n_queries:1_000 ~seed:13 ())
+  in
+  let metrics = Metrics.create ~warmup_id:0 in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(Schedulers.pick Schedulers.fcfs)
+    ~dispatch:
+      (Dispatchers.instantiate (Dispatchers.sla_tree ~admission:true Planner.fcfs))
+    ~metrics ();
+  check_int "everything accounted for" 1_000
+    (Metrics.completed_count metrics + Metrics.rejected_count metrics);
+  check_bool "overload triggers rejections" true (Metrics.rejected_count metrics > 0)
+
+let test_late_fraction_equals_loss_for_sla_a () =
+  (* Under the 1/0 SLA the average loss *is* the missed-deadline
+     fraction (paper Sec 7.1) — an internal consistency check across
+     Metrics and the SLA model. *)
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load:0.9
+         ~servers:1 ~n_queries:2_000 ~seed:14 ())
+  in
+  let metrics = Metrics.create ~warmup_id:1_000 in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(Schedulers.pick Schedulers.fcfs)
+    ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
+    ~metrics ();
+  check_bool "avg loss == late fraction" true
+    (Float.abs (Metrics.avg_loss metrics -. Metrics.late_fraction metrics) < 1e-9)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "all schedulers end-to-end" `Slow
+            test_full_pipeline_all_schedulers;
+          Alcotest.test_case "online shop scenario" `Slow test_online_shop_scenario;
+          Alcotest.test_case "capacity pipeline" `Slow test_capacity_pipeline;
+          Alcotest.test_case "admission control pipeline" `Slow
+            test_admission_control_pipeline;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "harness determinism" `Slow test_harness_determinism;
+          Alcotest.test_case "seed isolation" `Quick test_seed_isolation_between_policies;
+          Alcotest.test_case "what-if matches realized sim" `Quick
+            test_tree_what_if_consistent_with_sim;
+          Alcotest.test_case "SLA-A loss == late fraction" `Slow
+            test_late_fraction_equals_loss_for_sla_a;
+        ] );
+    ]

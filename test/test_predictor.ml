@@ -1,0 +1,183 @@
+(* Tests for the execution-time prediction substrate: plan generation,
+   the kNN regressor, and the end-to-end trace pipeline. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Query plans *)
+
+let test_plan_features_shape () =
+  let rng = Prng.create 1 in
+  let p = Query_plan.generate rng in
+  check_int "feature vector length" Query_plan.feature_count
+    (Array.length (Query_plan.to_features p))
+
+let test_plan_cost_positive_and_monotone () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 500 do
+    let p = Query_plan.generate rng in
+    let c = Query_plan.base_cost_ms p in
+    check_bool "positive cost" true (c > 0.0);
+    (* More joins can only make the plan slower. *)
+    let c' = Query_plan.base_cost_ms { p with n_joins = p.n_joins + 2 } in
+    check_bool "joins cost" true (c' >= c)
+  done
+
+let test_plan_cost_grows_with_rows () =
+  let rng = Prng.create 3 in
+  let p = Query_plan.generate rng in
+  let small = Query_plan.base_cost_ms { p with log_rows = 3.0 } in
+  let large = Query_plan.base_cost_ms { p with log_rows = 6.0 } in
+  check_bool "rows dominate" true (large > small)
+
+let test_observed_cost_noisy_but_centered () =
+  let rng = Prng.create 4 in
+  let p = Query_plan.generate rng in
+  let base = Query_plan.base_cost_ms p in
+  let s = Stats.create () in
+  for _ = 1 to 20_000 do
+    Stats.add s (Query_plan.observed_cost_ms ~noise_sigma:0.15 p rng)
+  done;
+  (* Lognormal(0, 0.15): mean factor = exp(0.15^2/2) ~ 1.011. *)
+  check_bool "mean near base" true
+    (Float.abs ((Stats.mean s /. base) -. 1.011) < 0.03);
+  check_bool "actually noisy" true (Stats.stddev s > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* kNN *)
+
+let test_knn_recovers_training_point () =
+  (* k = 1 on a clean function: predicting a training input returns its
+     label exactly. *)
+  let xs = Array.init 50 (fun i -> [| Float.of_int i; Float.of_int (i * i) |]) in
+  let ys = Array.init 50 (fun i -> 1.0 +. Float.of_int i) in
+  let m = Knn.fit ~k:1 xs ys in
+  check_float "exact at training point" 11.0 (Knn.predict m xs.(10))
+
+let test_knn_interpolates () =
+  (* y = x on a grid: prediction between grid points lands between the
+     neighbours. *)
+  let xs = Array.init 21 (fun i -> [| Float.of_int i |]) in
+  let ys = Array.init 21 (fun i -> Float.of_int i +. 1.0) in
+  let m = Knn.fit ~k:2 xs ys in
+  let p = Knn.predict m [| 10.4 |] in
+  check_bool "between neighbours" true (p >= 10.9 && p <= 12.1)
+
+let test_knn_k_clamped () =
+  let xs = [| [| 0.0 |]; [| 1.0 |] |] in
+  let ys = [| 2.0; 8.0 |] in
+  let m = Knn.fit ~k:10 xs ys in
+  (* k clamps to 2: geometric mean of 2 and 8 = 4. *)
+  check_float "geometric mean" 4.0 (Knn.predict m [| 0.5 |])
+
+let test_knn_invalid () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  check_bool "empty" true (raises (fun () -> Knn.fit ~k:1 [||] [||]));
+  check_bool "mismatch" true
+    (raises (fun () -> Knn.fit ~k:1 [| [| 1.0 |] |] [| 1.0; 2.0 |]));
+  check_bool "nonpositive target" true
+    (raises (fun () -> Knn.fit ~k:1 [| [| 1.0 |] |] [| 0.0 |]));
+  check_bool "bad k" true (raises (fun () -> Knn.fit ~k:0 [| [| 1.0 |] |] [| 1.0 |]))
+
+let test_knn_constant_feature_no_nan () =
+  (* A zero-variance feature must not divide by zero. *)
+  let xs = [| [| 5.0; 1.0 |]; [| 5.0; 2.0 |]; [| 5.0; 3.0 |] |] in
+  let ys = [| 1.0; 2.0; 3.0 |] in
+  let m = Knn.fit ~k:1 xs ys in
+  check_bool "finite prediction" true (Float.is_finite (Knn.predict m [| 5.0; 2.1 |]))
+
+let test_knn_mape_reasonable_on_plans () =
+  (* The whole point (Sec 2.3): plan features predict execution time
+     well enough to drive decisions. *)
+  let predictor = Cost_predictor.train ~training_size:2_000 ~seed:99 () in
+  let mape = Cost_predictor.evaluate ~test_size:500 predictor ~seed:100 in
+  check_bool (Printf.sprintf "MAPE %.1f%% below 80%%" mape) true (mape < 80.0);
+  check_bool "MAPE positive" true (mape > 0.0)
+
+let test_predictor_deterministic () =
+  let a = Cost_predictor.train ~training_size:300 ~seed:5 () in
+  let b = Cost_predictor.train ~training_size:300 ~seed:5 () in
+  let rng = Prng.create 6 in
+  let p = Query_plan.generate rng in
+  check_float "same model from same seed" (Cost_predictor.predict a p)
+    (Cost_predictor.predict b p)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end trace *)
+
+let test_generated_trace_shape () =
+  let predictor = Cost_predictor.train ~training_size:500 ~seed:7 () in
+  let queries =
+    Cost_predictor.generate_trace predictor ~profile:Workloads.Sla_b ~load:0.8
+      ~servers:1 ~n_queries:400 ~seed:8
+  in
+  check_int "count" 400 (Array.length queries);
+  Array.iteri
+    (fun i q ->
+      check_int "ids sequential" i q.Query.id;
+      check_bool "positive times" true (q.Query.size > 0.0 && q.Query.est_size > 0.0);
+      if i > 0 then
+        check_bool "arrivals sorted" true
+          (q.Query.arrival >= queries.(i - 1).Query.arrival))
+    queries;
+  check_bool "estimates differ from actuals" true
+    (Array.exists (fun q -> q.Query.size <> q.Query.est_size) queries)
+
+let test_generated_trace_runs_in_sim () =
+  let predictor = Cost_predictor.train ~training_size:500 ~seed:9 () in
+  let queries =
+    Cost_predictor.generate_trace predictor ~profile:Workloads.Sla_a ~load:0.8
+      ~servers:1 ~n_queries:600 ~seed:10
+  in
+  let metrics = Metrics.create ~warmup_id:200 in
+  Sim.run ~queries ~n_servers:1
+    ~pick_next:(Schedulers.pick Schedulers.fcfs_sla_tree)
+    ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
+    ~metrics ();
+  check_int "all complete" 600 (Metrics.completed_count metrics);
+  check_bool "loss finite" true (Float.is_finite (Metrics.avg_loss metrics))
+
+let prop_prediction_positive =
+  QCheck.Test.make ~name:"predictions are positive and finite" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let predictor = Cost_predictor.train ~training_size:200 ~seed:1 () in
+      let rng = Prng.create seed in
+      let p = Query_plan.generate rng in
+      let v = Cost_predictor.predict predictor p in
+      Float.is_finite v && v > 0.0)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "predictor"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "feature shape" `Quick test_plan_features_shape;
+          Alcotest.test_case "cost positive/monotone" `Quick
+            test_plan_cost_positive_and_monotone;
+          Alcotest.test_case "cost grows with rows" `Quick test_plan_cost_grows_with_rows;
+          Alcotest.test_case "observed noise centered" `Slow
+            test_observed_cost_noisy_but_centered;
+        ] );
+      ( "knn",
+        [
+          Alcotest.test_case "recovers training point" `Quick
+            test_knn_recovers_training_point;
+          Alcotest.test_case "interpolates" `Quick test_knn_interpolates;
+          Alcotest.test_case "k clamped" `Quick test_knn_k_clamped;
+          Alcotest.test_case "invalid inputs" `Quick test_knn_invalid;
+          Alcotest.test_case "constant feature" `Quick test_knn_constant_feature_no_nan;
+          Alcotest.test_case "MAPE on plans" `Slow test_knn_mape_reasonable_on_plans;
+          Alcotest.test_case "deterministic" `Quick test_predictor_deterministic;
+          qtest prop_prediction_positive;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "shape" `Quick test_generated_trace_shape;
+          Alcotest.test_case "runs in simulator" `Quick test_generated_trace_runs_in_sim;
+        ] );
+    ]

@@ -1,0 +1,325 @@
+(* Tests for the SLA model: stepwise profit, validation, the g/0
+   decomposition (paper Sec 4.2), the Fig 16 profiles and the CBS
+   expected-loss integral. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let general_sla =
+  (* Fig 3a: g1 until t1, g2 until t2, then penalty p. *)
+  Sla.make
+    ~levels:[ { bound = 10.0; gain = 5.0 }; { bound = 20.0; gain = 2.0 } ]
+    ~penalty:3.0
+
+(* ------------------------------------------------------------------ *)
+(* Construction and validation *)
+
+let test_make_valid () =
+  check_int "levels" 2 (Sla.num_levels general_sla);
+  check_float "penalty" 3.0 (Sla.penalty general_sla);
+  check_float "max gain" 5.0 (Sla.max_gain general_sla);
+  check_float "first deadline" 10.0 (Sla.first_deadline general_sla);
+  check_float "last deadline" 20.0 (Sla.last_deadline general_sla)
+
+let expect_invalid f =
+  match f () with
+  | exception Sla.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Sla.Invalid"
+
+let test_make_empty_levels () = expect_invalid (fun () -> Sla.make ~levels:[] ~penalty:0.0)
+
+let test_make_negative_penalty () =
+  expect_invalid (fun () ->
+      Sla.make ~levels:[ { bound = 1.0; gain = 1.0 } ] ~penalty:(-1.0))
+
+let test_make_nonincreasing_bounds () =
+  expect_invalid (fun () ->
+      Sla.make
+        ~levels:[ { bound = 2.0; gain = 2.0 }; { bound = 2.0; gain = 1.0 } ]
+        ~penalty:0.0)
+
+let test_make_nondecreasing_gains () =
+  expect_invalid (fun () ->
+      Sla.make
+        ~levels:[ { bound = 1.0; gain = 1.0 }; { bound = 2.0; gain = 1.0 } ]
+        ~penalty:0.0)
+
+let test_make_gain_below_neg_penalty () =
+  expect_invalid (fun () ->
+      Sla.make ~levels:[ { bound = 1.0; gain = -2.0 } ] ~penalty:1.0)
+
+let test_make_nonpositive_bound () =
+  expect_invalid (fun () -> Sla.make ~levels:[ { bound = 0.0; gain = 1.0 } ] ~penalty:0.0)
+
+let test_make_negative_gain_ok_with_penalty () =
+  (* A level gain may be negative as long as it stays >= -penalty. *)
+  let sla = Sla.make ~levels:[ { bound = 1.0; gain = -0.5 } ] ~penalty:1.0 in
+  check_float "profit on time" (-0.5) (Sla.profit sla ~response:0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Profit evaluation *)
+
+let test_profit_steps () =
+  check_float "fastest" 5.0 (Sla.profit general_sla ~response:0.0);
+  check_float "inside level 1" 5.0 (Sla.profit general_sla ~response:9.99);
+  check_float "boundary inclusive t1" 5.0 (Sla.profit general_sla ~response:10.0);
+  check_float "inside level 2" 2.0 (Sla.profit general_sla ~response:10.01);
+  check_float "boundary inclusive t2" 2.0 (Sla.profit general_sla ~response:20.0);
+  check_float "after everything" (-3.0) (Sla.profit general_sla ~response:20.01)
+
+let test_one_zero () =
+  let sla = Sla.one_zero ~bound:4.0 in
+  check_float "on time" 1.0 (Sla.profit sla ~response:4.0);
+  check_float "late" 0.0 (Sla.profit sla ~response:4.5)
+
+let test_single_step () =
+  let sla = Sla.single_step ~bound:2.0 ~gain:7.5 in
+  check_float "gain" 7.5 (Sla.profit sla ~response:1.0);
+  check_float "zero after" 0.0 (Sla.profit sla ~response:3.0)
+
+let test_loss_vs_ideal () =
+  check_float "on time no loss" 0.0 (Sla.loss_vs_ideal general_sla ~response:5.0);
+  check_float "level 2 loss" 3.0 (Sla.loss_vs_ideal general_sla ~response:15.0);
+  check_float "penalty loss" 8.0 (Sla.loss_vs_ideal general_sla ~response:25.0)
+
+(* ------------------------------------------------------------------ *)
+(* Decomposition *)
+
+let test_decompose_general () =
+  let comps, offset = Sla.decompose general_sla in
+  check_float "offset is -penalty" (-3.0) offset;
+  check_int "two components" 2 (List.length comps);
+  (* Inner component: g1 - g2 = 3 at bound 10; outer: g2 + p = 5 at 20. *)
+  match comps with
+  | [ c1; c2 ] ->
+    check_float "c1 bound" 10.0 c1.Sla.comp_bound;
+    check_float "c1 gain" 3.0 c1.comp_gain;
+    check_float "c2 bound" 20.0 c2.comp_bound;
+    check_float "c2 gain" 5.0 c2.comp_gain
+  | _ -> Alcotest.fail "unexpected component count"
+
+let test_decompose_roundtrip_samples () =
+  let d = Sla.decompose general_sla in
+  List.iter
+    (fun r ->
+      check_float
+        (Printf.sprintf "response %g" r)
+        (Sla.profit general_sla ~response:r)
+        (Sla.profit_of_decomposition d ~response:r))
+    [ 0.0; 5.0; 10.0; 10.5; 15.0; 20.0; 25.0; 1000.0 ]
+
+let test_decompose_drops_zero_steps () =
+  (* gain exactly -penalty at the last level: outer component is 0. *)
+  let sla =
+    Sla.make ~levels:[ { bound = 1.0; gain = 1.0 }; { bound = 2.0; gain = -1.0 } ]
+      ~penalty:1.0
+  in
+  let comps, _ = Sla.decompose sla in
+  check_int "only one live component" 1 (List.length comps);
+  List.iter (fun c -> check_bool "positive gain" true (c.Sla.comp_gain > 0.0)) comps
+
+let arbitrary_sla =
+  (* Random stepwise SLA: up to 4 levels with increasing bounds and
+     decreasing gains, random non-negative penalty. *)
+  let open QCheck in
+  let gen =
+    Gen.(
+      let* n = 1 -- 4 in
+      let* raw_bounds = list_repeat n (float_range 0.1 100.0) in
+      let* raw_gains = list_repeat n (float_range 0.1 10.0) in
+      let* penalty = float_range 0.0 5.0 in
+      let bounds = List.sort_uniq Float.compare raw_bounds in
+      let gains =
+        List.sort_uniq Float.compare raw_gains |> List.rev
+      in
+      let k = min (List.length bounds) (List.length gains) in
+      let levels =
+        List.init k (fun i ->
+            { Sla.bound = List.nth bounds i; gain = List.nth gains i })
+      in
+      Gen.return (Sla.make ~levels ~penalty))
+  in
+  make ~print:(Fmt.to_to_string Sla.pp) gen
+
+let prop_decompose_roundtrip =
+  QCheck.Test.make ~name:"decomposition reproduces profit everywhere" ~count:300
+    QCheck.(pair arbitrary_sla (float_range 0.0 200.0))
+    (fun (sla, r) ->
+      let d = Sla.decompose sla in
+      let a = Sla.profit sla ~response:r in
+      let b = Sla.profit_of_decomposition d ~response:r in
+      Float.abs (a -. b) < 1e-9)
+
+let prop_profit_nonincreasing =
+  QCheck.Test.make ~name:"profit is non-increasing in response time" ~count:300
+    QCheck.(triple arbitrary_sla (float_range 0.0 200.0) (float_range 0.0 50.0))
+    (fun (sla, r, dr) ->
+      Sla.profit sla ~response:r >= Sla.profit sla ~response:(r +. dr) -. 1e-12)
+
+let prop_components_positive =
+  QCheck.Test.make ~name:"decomposition components have positive gain" ~count:300
+    arbitrary_sla
+    (fun sla ->
+      let comps, _ = Sla.decompose sla in
+      List.for_all (fun c -> c.Sla.comp_gain > 0.0) comps)
+
+(* ------------------------------------------------------------------ *)
+(* Expected loss under exponential extra wait (CBS integral) *)
+
+let numeric_expected_profit sla ~elapsed ~rate =
+  (* Riemann sum over the exponential density. *)
+  let dx = 0.001 and xmax = 40.0 /. rate in
+  let acc = ref 0.0 in
+  let x = ref (dx /. 2.0) in
+  while !x < xmax do
+    let density = rate *. exp (-.rate *. !x) in
+    acc := !acc +. (density *. Sla.profit sla ~response:(elapsed +. !x) *. dx);
+    x := !x +. dx
+  done;
+  !acc
+
+let test_expected_profit_matches_numeric () =
+  List.iter
+    (fun (elapsed, rate) ->
+      let closed = Sla.expected_profit_exp general_sla ~elapsed ~rate in
+      let numeric = numeric_expected_profit general_sla ~elapsed ~rate in
+      check_bool
+        (Printf.sprintf "elapsed=%g rate=%g" elapsed rate)
+        true
+        (Float.abs (closed -. numeric) < 0.02))
+    [ (0.0, 0.1); (5.0, 0.1); (15.0, 0.2); (25.0, 0.05); (0.0, 1.0) ]
+
+let test_expected_profit_limits () =
+  (* Already far past the last deadline: expectation is the penalty. *)
+  let v = Sla.expected_profit_exp general_sla ~elapsed:100.0 ~rate:0.1 in
+  check_float "stuck at penalty" (-3.0) v
+
+let test_expected_loss_positive_when_late_risk () =
+  let loss = Sla.expected_loss_exp general_sla ~elapsed:9.0 ~rate:0.1 in
+  check_bool "some risk of losing level 1" true (loss > 0.0)
+
+let prop_expected_profit_bounded =
+  QCheck.Test.make ~name:"expected profit within [min, max] profit" ~count:300
+    QCheck.(triple arbitrary_sla (float_range 0.0 100.0) (float_range 0.01 2.0))
+    (fun (sla, elapsed, rate) ->
+      let v = Sla.expected_profit_exp sla ~elapsed ~rate in
+      v <= Sla.max_gain sla +. 1e-9 && v >= -.Sla.penalty sla -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Profiles (Fig 16) *)
+
+let test_sla_a_shape () =
+  let sla = Sla_profiles.sla_a ~mu:20.0 in
+  check_float "gain 1 within 2mu" 1.0 (Sla.profit sla ~response:40.0);
+  check_float "0 after" 0.0 (Sla.profit sla ~response:40.01);
+  check_float "no penalty" 0.0 (Sla.penalty sla)
+
+let test_sla_b_customer_shape () =
+  let sla = Sla_profiles.sla_b_customer ~mu:20.0 in
+  check_float "2 within mu" 2.0 (Sla.profit sla ~response:20.0);
+  check_float "1 within 5mu" 1.0 (Sla.profit sla ~response:100.0);
+  check_float "0 after" 0.0 (Sla.profit sla ~response:100.01)
+
+let test_sla_b_employee_shape () =
+  let sla = Sla_profiles.sla_b_employee ~mu:20.0 in
+  check_float "1 within 10mu" 1.0 (Sla.profit sla ~response:200.0);
+  check_float "-10 after" (-10.0) (Sla.profit sla ~response:200.01)
+
+(* ------------------------------------------------------------------ *)
+(* Query *)
+
+let test_query_basics () =
+  let sla = Sla.one_zero ~bound:10.0 in
+  let q = Query.make ~id:3 ~arrival:5.0 ~size:2.0 ~sla () in
+  check_float "est defaults to size" 2.0 q.Query.est_size;
+  check_float "deadline" 15.0 (Query.first_deadline q);
+  check_float "profit on time" 1.0 (Query.profit_at q ~completion:15.0);
+  check_float "profit late" 0.0 (Query.profit_at q ~completion:15.5);
+  check_float "loss late" 1.0 (Query.loss_at q ~completion:15.5);
+  check_float "ideal" 1.0 (Query.ideal_profit q)
+
+let test_query_est_size () =
+  let sla = Sla.one_zero ~bound:10.0 in
+  let q = Query.make ~est_size:3.0 ~id:0 ~arrival:0.0 ~size:6.0 ~sla () in
+  check_float "est kept" 3.0 q.Query.est_size;
+  check_float "actual kept" 6.0 q.Query.size
+
+let test_sla_equal_and_pp () =
+  let a = Sla.one_zero ~bound:5.0 in
+  let b = Sla.one_zero ~bound:5.0 in
+  let c = Sla.one_zero ~bound:6.0 in
+  let d = Sla.single_step ~bound:5.0 ~gain:2.0 in
+  check_bool "equal" true (Sla.equal a b);
+  check_bool "different bound" false (Sla.equal a c);
+  check_bool "different gain" false (Sla.equal a d);
+  check_bool "different penalty" false
+    (Sla.equal a (Sla.make ~levels:[ { bound = 5.0; gain = 1.0 } ] ~penalty:1.0));
+  check_bool "different arity" false (Sla.equal a general_sla);
+  let s = Fmt.str "%a" Sla.pp general_sla in
+  check_bool "pp mentions penalty" true (String.length s > 10);
+  let qs = Fmt.str "%a" Query.pp (Query.make ~id:1 ~arrival:0.0 ~size:2.0 ~sla:a ()) in
+  check_bool "query pp" true (String.length qs > 10)
+
+let test_query_invalid () =
+  let sla = Sla.one_zero ~bound:1.0 in
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Query.make: size must be non-negative") (fun () ->
+      ignore (Query.make ~id:0 ~arrival:0.0 ~size:(-1.0) ~sla ()))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sla"
+    [
+      ( "make",
+        [
+          Alcotest.test_case "valid" `Quick test_make_valid;
+          Alcotest.test_case "empty levels" `Quick test_make_empty_levels;
+          Alcotest.test_case "negative penalty" `Quick test_make_negative_penalty;
+          Alcotest.test_case "non-increasing bounds" `Quick test_make_nonincreasing_bounds;
+          Alcotest.test_case "non-decreasing gains" `Quick test_make_nondecreasing_gains;
+          Alcotest.test_case "gain below -penalty" `Quick test_make_gain_below_neg_penalty;
+          Alcotest.test_case "non-positive bound" `Quick test_make_nonpositive_bound;
+          Alcotest.test_case "negative gain with penalty" `Quick
+            test_make_negative_gain_ok_with_penalty;
+        ] );
+      ( "profit",
+        [
+          Alcotest.test_case "steps" `Quick test_profit_steps;
+          Alcotest.test_case "1/0" `Quick test_one_zero;
+          Alcotest.test_case "g/0" `Quick test_single_step;
+          Alcotest.test_case "loss vs ideal" `Quick test_loss_vs_ideal;
+          qtest prop_profit_nonincreasing;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "general example" `Quick test_decompose_general;
+          Alcotest.test_case "roundtrip samples" `Quick test_decompose_roundtrip_samples;
+          Alcotest.test_case "drops zero steps" `Quick test_decompose_drops_zero_steps;
+          qtest prop_decompose_roundtrip;
+          qtest prop_components_positive;
+        ] );
+      ( "expected",
+        [
+          Alcotest.test_case "matches numeric integral" `Slow
+            test_expected_profit_matches_numeric;
+          Alcotest.test_case "limit past last deadline" `Quick test_expected_profit_limits;
+          Alcotest.test_case "positive loss under risk" `Quick
+            test_expected_loss_positive_when_late_risk;
+          qtest prop_expected_profit_bounded;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "SLA-A" `Quick test_sla_a_shape;
+          Alcotest.test_case "SLA-B customer" `Quick test_sla_b_customer_shape;
+          Alcotest.test_case "SLA-B employee" `Quick test_sla_b_employee_shape;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "basics" `Quick test_query_basics;
+          Alcotest.test_case "est size" `Quick test_query_est_size;
+          Alcotest.test_case "equal and pp" `Quick test_sla_equal_and_pp;
+          Alcotest.test_case "invalid" `Quick test_query_invalid;
+        ] );
+    ]
