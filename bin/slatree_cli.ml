@@ -171,6 +171,7 @@ let scheduler_of_string ~rate = function
   | "value-edf" -> Ok Schedulers.value_edf
   | "cbs" -> Ok (Schedulers.cbs ~rate)
   | "fcfs+tree" -> Ok Schedulers.fcfs_sla_tree
+  | "fcfs+tree-incr" -> Ok Schedulers.fcfs_sla_tree_incr
   | "sjf+tree" -> Ok Schedulers.sjf_sla_tree
   | "edf+tree" -> Ok Schedulers.edf_sla_tree
   | "value-edf+tree" -> Ok Schedulers.value_edf_sla_tree
@@ -183,6 +184,8 @@ let dispatcher_of_string ~rate = function
   | "random" -> Ok (Dispatchers.random ~seed:1)
   | "tree" -> Ok (Dispatchers.sla_tree (Planner.cbs ~rate))
   | "tree+ac" -> Ok (Dispatchers.sla_tree ~admission:true (Planner.cbs ~rate))
+  | "tree-fcfs" -> Ok (Dispatchers.fcfs_sla_tree_incr ())
+  | "tree-fcfs+ac" -> Ok (Dispatchers.fcfs_sla_tree_incr ~admission:true ())
   | s -> Error (Printf.sprintf "unknown dispatcher %S" s)
 
 let run_trace_generate out kind profile load servers n seed sigma2 =
@@ -218,8 +221,8 @@ let run_trace_replay file scheduler_name dispatcher_name servers warmup =
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok scheduler, Ok dispatcher ->
       let metrics = Metrics.create ~warmup_id:warmup in
-      Sim.run ~queries ~n_servers:servers
-        ~pick_next:(Schedulers.pick scheduler)
+      let pick_next, hook = Schedulers.instantiate scheduler in
+      Sim.run ?on_server_event:hook ~queries ~n_servers:servers ~pick_next
         ~dispatch:(Dispatchers.instantiate dispatcher)
         ~metrics ();
       Fmt.pf ppf "replayed %d queries (%s / %s, %d server(s), warm-up %d)@."
@@ -229,10 +232,10 @@ let run_trace_replay file scheduler_name dispatcher_name servers warmup =
       Fmt.pf ppf "  avg profit      : $%.4f per query@." (Metrics.avg_profit metrics);
       Fmt.pf ppf "  deadline misses : %.2f%%@."
         (100.0 *. Metrics.late_fraction metrics);
-      Fmt.pf ppf "  response p50/p95/p99: %.2f / %.2f / %.2f ms@."
-        (Metrics.response_percentile metrics 50.0)
-        (Metrics.response_percentile metrics 95.0)
-        (Metrics.response_percentile metrics 99.0);
+      (match Metrics.response_percentiles metrics [ 50.0; 95.0; 99.0 ] with
+      | [ p50; p95; p99 ] ->
+        Fmt.pf ppf "  response p50/p95/p99: %.2f / %.2f / %.2f ms@." p50 p95 p99
+      | _ -> assert false);
       if Metrics.rejected_count metrics > 0 then
         Fmt.pf ppf "  rejected        : %d@." (Metrics.rejected_count metrics);
       `Ok ())
@@ -329,11 +332,13 @@ let trace_replay_cmd =
   in
   let scheduler =
     Arg.(value & opt string "cbs+tree" & info [ "scheduler" ] ~docv:"SCHED"
-           ~doc:"fcfs | sjf | edf | value-edf | cbs, each optionally +tree")
+           ~doc:
+             "fcfs | sjf | edf | value-edf | cbs, each optionally +tree; \
+              fcfs+tree-incr for the incremental SLA-tree fast path")
   in
   let dispatcher =
     Arg.(value & opt string "lwl" & info [ "dispatcher" ] ~docv:"DISP"
-           ~doc:"rr | lwl | random | tree | tree+ac")
+           ~doc:"rr | lwl | random | tree | tree+ac | tree-fcfs | tree-fcfs+ac")
   in
   let servers =
     Arg.(value & opt int 1 & info [ "servers" ] ~docv:"M" ~doc:"Server count")

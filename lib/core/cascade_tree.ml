@@ -224,9 +224,14 @@ let total t =
    - cumulative gains are consistent with children;
    - pointers index the largest child id <= the entry id. *)
 let check_invariants t =
-  let rec keys = function
-    | Leaf { key; _ } -> [ key ]
-    | Node { left; right; _ } -> keys left @ keys right
+  (* Accumulator-based collection: [keys left @ keys right] is
+     quadratic on the left-spine-heavy trees the builder produces. *)
+  let keys node =
+    let rec go acc = function
+      | Leaf { key; _ } -> key :: acc
+      | Node { left; right; _ } -> go (go acc right) left
+    in
+    go [] node
   in
   let rec go = function
     | Leaf _ -> ()

@@ -47,7 +47,11 @@ type t = {
   mutable base_entries : Schedule.entry array;  (** planned starts *)
   mutable head : int;  (** base entries [0 .. head-1] already executed *)
   mutable delay : float;  (** true time = planned time + delay *)
-  mutable pending : (Query.t * pending_unit list) list;  (** newest first *)
+  mutable pending : (Query.t * float * pending_unit list) list;
+      (** newest first; the [float] is the query's planned start *)
+  mutable pending_cache : (Query.t * float * pending_unit list) array option;
+      (** [pending] reversed into arrival order, memoized between
+          appends so questions do not re-allocate it *)
   mutable pending_n : int;
   mutable tail_time : float;  (** planned end of the current schedule *)
   mutable rebuilds : int;
@@ -74,19 +78,15 @@ let to_entries t =
     Array.sub t.base_entries t.head (live_base t)
     |> Array.map (fun e -> { e with Schedule.start = e.Schedule.start +. t.delay })
   in
-  let tail_start =
-    if Array.length base > 0 then Schedule.completion base.(Array.length base - 1)
-    else t.tail_time +. t.delay
+  (* Pending queries carry their own planned starts: [t.tail_time]
+     already includes them, so deriving their positions from it would
+     shift the block by its own total size once the base drains. *)
+  let pending =
+    List.rev_map
+      (fun (q, start, _) -> { Schedule.query = q; start = start +. t.delay })
+      t.pending
   in
-  let rec starts acc time = function
-    | [] -> List.rev acc
-    | q :: rest ->
-      starts ({ Schedule.query = q; start = time } :: acc)
-        (time +. q.Query.est_size)
-        rest
-  in
-  let pending = List.rev_map (fun (q, _) -> q) t.pending in
-  Array.append base (Array.of_list (starts [] tail_start pending))
+  Array.append base (Array.of_list pending)
 
 (* Rebuild both trees over the true-start live schedule; the planned
    timeline is re-anchored to the true one (delay returns to 0). *)
@@ -107,6 +107,7 @@ let rebuild t =
   t.head <- 0;
   t.delay <- 0.0;
   t.pending <- [];
+  t.pending_cache <- Some [||];
   t.pending_n <- 0;
   t.tail_time <- tail_time;
   t.rebuilds <- t.rebuilds + 1
@@ -122,6 +123,7 @@ let create ~now queries =
     head = 0;
     delay = 0.0;
     pending = [];
+    pending_cache = Some [||];
     pending_n = 0;
     tail_time =
       (if Array.length entries > 0 then
@@ -140,7 +142,8 @@ let maybe_rebuild t =
 (* FCFS arrival: the query starts when the current schedule ends. *)
 let append t query =
   let start = t.tail_time in
-  t.pending <- (query, units_of_query query ~start) :: t.pending;
+  t.pending <- (query, start, units_of_query query ~start) :: t.pending;
+  t.pending_cache <- None;
   t.pending_n <- t.pending_n + 1;
   t.tail_time <- start +. query.Query.est_size;
   maybe_rebuild t
@@ -171,13 +174,25 @@ let rec pop_head ?actual t =
     else maybe_rebuild t
   end
 
+(* Next query to execute: head of the live base, or the oldest pending
+   query when the base is exhausted. *)
+let peek t =
+  if live_base t > 0 then Some t.base_entries.(t.head).Schedule.query
+  else
+    match t.pending with
+    | [] -> None
+    | (newest, _, _) :: rest ->
+      (* [pending] is newest-first; the oldest is the list's last. *)
+      Some (List.fold_left (fun _ (q, _, _) -> q) newest rest)
+
 (* The server idled past the schedule's end (a gap in arrivals): the
-   next query starts at [now] instead. Only meaningful when empty. *)
+   next query starts at [now] instead. Only meaningful when empty.
+   [now] may sit an ulp *before* the drained anchor — the caller's
+   clock and the planned timeline accumulate rounding differently —
+   so no monotonicity check. *)
 let reset_origin t ~now =
   if length t > 0 then
     invalid_arg "Incr_sla_tree.reset_origin: buffer must be empty";
-  if now < t.tail_time then
-    invalid_arg "Incr_sla_tree.reset_origin: time cannot move backwards";
   t.tail_time <- now
 
 let check_range t ~m ~n =
@@ -215,11 +230,19 @@ let base_prefix_expedite t ~abs_id ~tau =
 
 (* Scan the pending overflow for pending positions [lo .. hi] (arrival
    order). *)
+let pending_array t =
+  match t.pending_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (List.rev t.pending) in
+    t.pending_cache <- Some a;
+    a
+
 let pending_scan t ~lo ~hi ~f =
-  let arr = Array.of_list (List.rev t.pending) in
+  let arr = pending_array t in
   let acc = ref 0.0 in
   for i = lo to hi do
-    let _, units = arr.(i) in
+    let _, _, units = arr.(i) in
     List.iter (fun u -> acc := !acc +. f u) units
   done;
   !acc

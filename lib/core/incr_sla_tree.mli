@@ -20,6 +20,10 @@ val create : now:float -> Query.t array -> t
 (** Live queries currently buffered. *)
 val length : t -> int
 
+(** Next query to execute (the buffer head), without removing it.
+    O(1) unless only pending queries remain. *)
+val peek : t -> Query.t option
+
 (** FCFS arrival: schedule the query at the current tail. Amortized
     O(K) (may trigger a rebuild). *)
 val append : t -> Query.t -> unit
@@ -31,8 +35,7 @@ val append : t -> Query.t -> unit
 val pop_head : ?actual:float -> t -> unit
 
 (** After the buffer drained, restart the schedule at [now] (the
-    server sat idle). Raises if the buffer is non-empty or [now] moves
-    backwards. *)
+    server sat idle). Raises if the buffer is non-empty. *)
 val reset_origin : t -> now:float -> unit
 
 (** Profit lost if live queries [m..n] are postponed by [tau];

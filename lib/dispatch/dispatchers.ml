@@ -94,9 +94,9 @@ let insertion_profit planner sim sid q =
    back to least work left, so indifference does not pile queries onto
    server 0. With [admission] set, a query whose best profit delta is
    negative is rejected outright. *)
-let sla_tree ?(admission = false) planner =
+let sla_tree_with ~name profit_of ~admission =
   {
-    name = (if admission then "SLA-tree+AC" else "SLA-tree");
+    name;
     make =
       (fun () sim q ->
         let m = Sim.n_servers sim in
@@ -104,7 +104,7 @@ let sla_tree ?(admission = false) planner =
         and best_delta = ref neg_infinity
         and best_work = ref infinity in
         for sid = 0 to m - 1 do
-          let d = insertion_profit planner sim sid q in
+          let d = profit_of sim sid q in
           let w = Sim.est_work_left sim (Sim.server sim sid) in
           if d > !best_delta || (d = !best_delta && w < !best_work) then begin
             best := sid;
@@ -116,3 +116,31 @@ let sla_tree ?(admission = false) planner =
           { Sim.target = None; est_delta = Some !best_delta }
         else { Sim.target = Some !best; est_delta = Some !best_delta });
   }
+
+let sla_tree ?(admission = false) planner =
+  sla_tree_with
+    ~name:(if admission then "SLA-tree+AC" else "SLA-tree")
+    (insertion_profit planner) ~admission
+
+(* The incremental FCFS fast path. Under FCFS the newcomer always
+   ranks last ([insertion_rank] = N), so [What_if.insertion_delta]
+   postpones nobody: the what-if collapses to the newcomer's own
+   profit at the end of the server's estimated schedule. That tail is
+   exactly [now + est_work_left] — the accumulator the simulator
+   already maintains per server — so each server's answer is O(1) and
+   the per-arrival, per-server [Sla_tree.build] disappears entirely.
+   Same answers as [sla_tree Planner.fcfs], including on heterogeneous
+   farms (the schedule tail and the newcomer's execution time are both
+   speed-scaled, like [insertion_profit]'s scaled copies). *)
+let insertion_profit_fcfs sim sid q =
+  let srv = Sim.server sim sid in
+  Query.profit_at q
+    ~completion:
+      (Sim.now sim
+      +. Sim.est_work_left sim srv
+      +. (q.Query.est_size /. srv.Sim.speed))
+
+let fcfs_sla_tree_incr ?(admission = false) () =
+  sla_tree_with
+    ~name:(if admission then "SLA-tree+AC(incr)" else "SLA-tree(incr)")
+    insertion_profit_fcfs ~admission

@@ -29,3 +29,14 @@ val insertion_profit : Planner.t -> Sim.t -> int -> Query.t -> float
     chosen delta through [est_delta]. With [admission], queries whose
     best delta is negative are rejected. *)
 val sla_tree : ?admission:bool -> Planner.t -> t
+
+(** O(1)-per-server profit of appending [q] to server [sid]'s FCFS
+    schedule: under FCFS the newcomer ranks last and postpones nobody,
+    so the what-if is its own profit at [now + est_work_left +
+    est_size/speed] (exposed for tests). *)
+val insertion_profit_fcfs : Sim.t -> int -> Query.t -> float
+
+(** [sla_tree Planner.fcfs] without any per-decision tree build:
+    {!insertion_profit_fcfs} answers each server's what-if from the
+    incrementally maintained backlog accumulator. Identical picks. *)
+val fcfs_sla_tree_incr : ?admission:bool -> unit -> t

@@ -1,0 +1,108 @@
+(* Incremental FCFS+SLA-tree scheduling state.
+
+   Invariant (per server, between events): the live tree holds the
+   running query (head) followed by the buffered queries in FCFS
+   order, on the true timeline. The Sim event stream maintains it:
+
+     Started q    idle gap ended: reset_origin to now, append q
+                  (after a pick the started query is already the
+                  head — nothing to do)
+     Enqueued q   append at the schedule tail
+     Finished     pop_head ~actual (drift folds into the tree's
+                  delay offset); remember the deciding server — the
+                  simulator calls pick_next for that server next
+     Dropped q    the tree cannot remove interior queries: mark the
+                  server dirty, reconstruct lazily at the next pick
+
+   At a pick, the tree therefore equals Sla_tree.build ~now buffer of
+   the rebuild-per-decision path, and What_if.best_rush_incr makes the
+   identical decision. A rush (pick <> 0) reorders the buffer out of
+   FCFS, so the tree is reconstructed in post-rush order — exactly the
+   cost the static path pays on *every* decision. *)
+
+type sstate = {
+  mutable tree : Incr_sla_tree.t;
+  mutable dirty : bool;
+}
+
+type t = {
+  mutable servers : sstate array;
+  mutable deciding : int;  (* sid whose completion is being handled *)
+  mutable fast : int;
+  mutable rebuilt : int;
+}
+
+let create () = { servers = [||]; deciding = 0; fast = 0; rebuilt = 0 }
+
+let fast_decisions t = t.fast
+let rebuilt_decisions t = t.rebuilt
+
+let state t sid ~now =
+  let n = Array.length t.servers in
+  if sid >= n then begin
+    let grown =
+      Array.init (sid + 1) (fun i ->
+          if i < n then t.servers.(i)
+          else { tree = Incr_sla_tree.create ~now [||]; dirty = false })
+    in
+    t.servers <- grown
+  end;
+  t.servers.(sid)
+
+let head_is st q =
+  match Incr_sla_tree.peek st.tree with
+  | Some h -> h.Query.id = q.Query.id
+  | None -> false
+
+let hook t ~sid ~now ev =
+  let st = state t sid ~now in
+  match ev with
+  | Sim.Started q ->
+    if st.dirty then begin
+      st.tree <- Incr_sla_tree.create ~now [| q |];
+      st.dirty <- false
+    end
+    else if Incr_sla_tree.length st.tree = 0 then begin
+      Incr_sla_tree.reset_origin st.tree ~now;
+      Incr_sla_tree.append st.tree q
+    end
+    else if not (head_is st q) then begin
+      (* Defensive: events were not delivered in full — fall back. *)
+      st.tree <- Incr_sla_tree.create ~now [| q |];
+      st.dirty <- true
+    end
+  | Sim.Enqueued q -> if not st.dirty then Incr_sla_tree.append st.tree q
+  | Sim.Finished { query; actual } ->
+    t.deciding <- sid;
+    if (not st.dirty) && head_is st query then
+      Incr_sla_tree.pop_head ~actual st.tree
+    else st.dirty <- true
+  | Sim.Dropped _ -> st.dirty <- true
+
+(* Reconstruct the tree in the order [buffer.(i); buffer \ i]. *)
+let rush st ~now buffer i =
+  let n = Array.length buffer in
+  let arr = Array.make n buffer.(i) in
+  let k = ref 1 in
+  Array.iteri
+    (fun j q ->
+      if j <> i then begin
+        arr.(!k) <- q;
+        incr k
+      end)
+    buffer;
+  st.tree <- Incr_sla_tree.create ~now arr
+
+let pick t ~now buffer =
+  let st = state t t.deciding ~now in
+  if st.dirty || Incr_sla_tree.length st.tree <> Array.length buffer then begin
+    st.tree <- Incr_sla_tree.create ~now buffer;
+    st.dirty <- false;
+    t.rebuilt <- t.rebuilt + 1
+  end
+  else t.fast <- t.fast + 1;
+  match What_if.best_rush_incr st.tree with
+  | None -> invalid_arg "Incr_sched.pick: empty buffer"
+  | Some (i, _gain) ->
+    if i <> 0 then rush st ~now buffer i;
+    i

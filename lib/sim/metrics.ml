@@ -14,6 +14,9 @@ type t = {
   response : Stats.t;
   mutable responses : float array;  (* sample of measured responses *)
   mutable n_responses : int;
+  (* Sorted copy of the first [n_responses] samples, built on the first
+     percentile query and reused until the next [push_response]. *)
+  mutable sorted_responses : float array option;
   mutable completed_all : int;
   mutable rejected : int;
   mutable dropped : int;
@@ -29,6 +32,7 @@ let create ~warmup_id =
     response = Stats.create ();
     responses = [||];
     n_responses = 0;
+    sorted_responses = None;
     completed_all = 0;
     rejected = 0;
     dropped = 0;
@@ -39,6 +43,7 @@ let measured q t = q.Query.id >= t.warmup_id
 
 let push_response t r =
   if t.n_responses < response_sample_cap then begin
+    t.sorted_responses <- None;
     let cap = Array.length t.responses in
     if t.n_responses = cap then begin
       let ncap = max 256 (cap * 2) in
@@ -91,10 +96,23 @@ let avg_profit t = Stats.mean t.profit
 let total_profit t = Stats.total t.profit
 let avg_response t = Stats.mean t.response
 
-(* Percentile of measured response times (linear interpolation). *)
+(* Percentile of measured response times (linear interpolation). The
+   sorted sample is cached across calls — reporting p50/p95/p99 after a
+   run costs one sort, not three. *)
+let sorted_responses t =
+  match t.sorted_responses with
+  | Some a -> a
+  | None ->
+    let a = Array.sub t.responses 0 t.n_responses in
+    Array.sort Float.compare a;
+    t.sorted_responses <- Some a;
+    a
+
 let response_percentile t p =
   if t.n_responses = 0 then Float.nan
-  else Stats.percentile (Array.sub t.responses 0 t.n_responses) p
+  else Stats.percentile_of_sorted (sorted_responses t) p
+
+let response_percentiles t ps = List.map (response_percentile t) ps
 
 let late_fraction t =
   let n = measured_count t in

@@ -32,8 +32,13 @@ val total_profit : t -> float
 val avg_response : t -> float
 
 (** Percentile (0..100) of measured response times; NaN when nothing
-    was measured. *)
+    was measured. The sorted sample is memoized until the next recorded
+    response, so successive queries cost O(1) after one sort. *)
 val response_percentile : t -> float -> float
+
+(** [response_percentiles t ps] maps {!response_percentile} over [ps];
+    all answers share one sort of the sample. *)
+val response_percentiles : t -> float list -> float list
 
 val late_fraction : t -> float
 

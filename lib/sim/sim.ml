@@ -5,7 +5,14 @@
    picks the next buffered query whenever the server goes idle.
 
    Decision makers (dispatcher, scheduler) see estimated execution
-   times; the server is busy for the *actual* execution time. *)
+   times; the server is busy for the *actual* execution time.
+
+   Hot-path notes: buffers are array-backed FIFO deques (O(1) append,
+   O(1) length) and each server carries [est_backlog], the sum of
+   buffered estimated sizes, maintained incrementally on
+   enqueue/start/drop. [est_work_left] — asked once per server per
+   arrival by LWL and the SLA-tree dispatcher — is therefore O(1)
+   instead of a fold over the buffer. *)
 
 type running = {
   rquery : Query.t;
@@ -18,8 +25,20 @@ type server = {
   sid : int;
   speed : float;  (** processing rate; execution takes size/speed *)
   mutable running : running option;
-  mutable buffer : Query.t list;  (** arrival order, oldest first *)
+  buffer : Query.t Deque.t;  (** arrival order, oldest first *)
+  mutable est_backlog : float;
+      (** sum of [est_size] over the buffer (raw, not speed-scaled) *)
 }
+
+(* Per-server life-cycle notifications, consumed by incremental
+   scheduler state (one live Incr_sla_tree per server). Within one
+   completion the order is: Finished, Dropped*, [pick_next], Started;
+   an arrival emits Enqueued (busy server) or Started (idle server). *)
+type server_event =
+  | Started of Query.t
+  | Enqueued of Query.t
+  | Finished of { query : Query.t; actual : float }
+  | Dropped of Query.t
 
 type t = {
   servers : server array;
@@ -27,6 +46,7 @@ type t = {
   mutable next_arrival : int;
   queries : Query.t array;
   completions : (float * int) Heap.t;  (** (time, server) *)
+  mutable on_event : (sid:int -> now:float -> server_event -> unit) option;
 }
 
 (* [pick_next ~now buffer] returns the index (into the arrival-ordered
@@ -41,9 +61,12 @@ let n_servers t = Array.length t.servers
 let server t i = t.servers.(i)
 let now t = t.now
 
-let buffer_array s = Array.of_list s.buffer
+let buffer_array s = Deque.to_array s.buffer
 
-let buffer_length s = List.length s.buffer
+let buffer_length s = Deque.length s.buffer
+
+let emit t s ev =
+  match t.on_event with None -> () | Some f -> f ~sid:s.sid ~now:t.now ev
 
 (* Estimated time at which the server finishes its current query (now
    when idle; never in the past, even if the estimate undershot). *)
@@ -55,25 +78,24 @@ let est_free_at t s =
 (* Estimated time the server still owes: remaining current query plus
    everything buffered, in wall-clock terms (i.e. divided by the
    server's speed). This is LWL's metric (Sec 2.3), naturally
-   speed-aware on heterogeneous farms. *)
+   speed-aware on heterogeneous farms. O(1) via [est_backlog]. *)
 let est_work_left t s =
   let cur = est_free_at t s -. t.now in
-  List.fold_left (fun acc q -> acc +. (q.Query.est_size /. s.speed)) cur s.buffer
+  cur +. (s.est_backlog /. s.speed)
+
+let backlog_add s q = s.est_backlog <- s.est_backlog +. q.Query.est_size
+
+let backlog_remove s q =
+  s.est_backlog <- s.est_backlog -. q.Query.est_size;
+  (* Snap accumulated float residue back to exactly zero whenever the
+     buffer drains, so idle servers compare equal under LWL. *)
+  if Deque.is_empty s.buffer then s.est_backlog <- 0.0
 
 (* The canonical drop policy (footnote 2): give up on queries whose
    last deadline has already passed — their penalty is sunk and
    executing them only delays everyone else. *)
 let drop_past_last_deadline ~now q =
   now > Query.deadline q ~bound:(Sla.last_deadline q.Query.sla)
-
-let remove_nth list n =
-  let rec go i acc = function
-    | [] -> invalid_arg "Sim.remove_nth: index out of bounds"
-    | x :: rest ->
-      if i = n then (x, List.rev_append acc rest)
-      else go (i + 1) (x :: acc) rest
-  in
-  go 0 [] list
 
 let start_query t s q =
   assert (s.running = None);
@@ -86,14 +108,18 @@ let start_query t s q =
     }
   in
   s.running <- Some r;
-  Heap.push t.completions (r.act_finish, s.sid)
+  Heap.push t.completions (r.act_finish, s.sid);
+  emit t s (Started q)
 
 let dispatch_to t s q =
   match s.running with
   | None ->
-    assert (s.buffer = []);
+    assert (Deque.is_empty s.buffer);
     start_query t s q
-  | Some _ -> s.buffer <- s.buffer @ [ q ]
+  | Some _ ->
+    Deque.push_back s.buffer q;
+    backlog_add s q;
+    emit t s (Enqueued q)
 
 let create ?speeds ~queries ~n_servers () =
   if n_servers <= 0 then invalid_arg "Sim.create: n_servers must be positive";
@@ -111,7 +137,13 @@ let create ?speeds ~queries ~n_servers () =
   {
     servers =
       Array.init n_servers (fun sid ->
-          { sid; speed = speed_of sid; running = None; buffer = [] });
+          {
+            sid;
+            speed = speed_of sid;
+            running = None;
+            buffer = Deque.create ();
+            est_backlog = 0.0;
+          });
     now = 0.0;
     next_arrival = 0;
     queries;
@@ -119,11 +151,13 @@ let create ?speeds ~queries ~n_servers () =
       Heap.create (fun (ta, sa) (tb, sb) ->
           let c = Float.compare ta tb in
           if c <> 0 then c else Int.compare sa sb);
+    on_event = None;
   }
 
-let run ?on_dispatch ?on_complete ?speeds ?drop_policy ~queries ~n_servers
-    ~pick_next ~dispatch ~metrics () =
+let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ~queries
+    ~n_servers ~pick_next ~dispatch ~metrics () =
   let t = create ?speeds ~queries ~n_servers () in
+  t.on_event <- on_server_event;
   let total = Array.length queries in
   (* Footnote-2 alternative: at each scheduling point, abandon buffered
      queries the policy gives up on (typically those past their last
@@ -132,11 +166,16 @@ let run ?on_dispatch ?on_complete ?speeds ?drop_policy ~queries ~n_servers
     match drop_policy with
     | None -> ()
     | Some keep_or_drop ->
-      let dropped, kept =
-        List.partition (fun q -> keep_or_drop ~now:t.now q) s.buffer
+      let dropped =
+        Deque.filter_in_place s.buffer ~f:(fun q -> not (keep_or_drop ~now:t.now q))
       in
-      List.iter (Metrics.record_dropped metrics) dropped;
-      s.buffer <- kept
+      List.iter
+        (fun q ->
+          s.est_backlog <- s.est_backlog -. q.Query.est_size;
+          Metrics.record_dropped metrics q;
+          emit t s (Dropped q))
+        dropped;
+      if Deque.is_empty s.buffer then s.est_backlog <- 0.0
   in
   let finish_one s =
     match s.running with
@@ -144,20 +183,21 @@ let run ?on_dispatch ?on_complete ?speeds ?drop_policy ~queries ~n_servers
     | Some r ->
       s.running <- None;
       Metrics.record metrics r.rquery ~completion:t.now;
+      emit t s (Finished { query = r.rquery; actual = t.now -. r.started });
       (match on_complete with
       | Some f -> f r.rquery ~completion:t.now
       | None -> ());
       apply_drop_policy s;
-      (match s.buffer with
-      | [] -> ()
-      | buffer ->
-        let arr = Array.of_list buffer in
+      let n = Deque.length s.buffer in
+      if n > 0 then begin
+        let arr = Deque.to_array s.buffer in
         let idx = pick_next ~now:t.now arr in
-        if idx < 0 || idx >= Array.length arr then
+        if idx < 0 || idx >= n then
           invalid_arg "Sim.run: scheduler returned an out-of-bounds index";
-        let q, rest = remove_nth buffer idx in
-        s.buffer <- rest;
-        start_query t s q)
+        let q = Deque.remove s.buffer idx in
+        backlog_remove s q;
+        start_query t s q
+      end
   in
   let arrive q =
     let d = dispatch t q in

@@ -3,7 +3,11 @@
     Queries arrive at a central dispatcher; each server has a single
     buffer and a scheduler that picks the next query when the server
     idles. Decision makers see estimated execution times; servers are
-    occupied for the actual ones. *)
+    occupied for the actual ones.
+
+    Buffers are array-backed FIFO deques and every server maintains
+    its estimated backlog incrementally, so dispatch-time probes
+    ([buffer_length], [est_work_left]) are O(1). *)
 
 type running = {
   rquery : Query.t;
@@ -16,8 +20,23 @@ type server = {
   sid : int;
   speed : float;  (** processing rate; execution takes size/speed *)
   mutable running : running option;
-  mutable buffer : Query.t list;  (** arrival order, oldest first *)
+  buffer : Query.t Deque.t;  (** arrival order, oldest first *)
+  mutable est_backlog : float;
+      (** sum of buffered [est_size] (raw, not speed-scaled) *)
 }
+
+(** Per-server life-cycle notifications (consumed by incremental
+    scheduler state, e.g. one live [Incr_sla_tree] per server).
+    Within one completion the order is: [Finished], zero or more
+    [Dropped], the [pick_next] call, then [Started] for the chosen
+    query. An arrival emits [Enqueued] (busy server) or [Started]
+    (idle server, which begins executing immediately). *)
+type server_event =
+  | Started of Query.t
+  | Enqueued of Query.t
+  | Finished of { query : Query.t; actual : float }
+      (** [actual] is the wall-clock execution duration *)
+  | Dropped of Query.t
 
 type t
 
@@ -44,7 +63,7 @@ val buffer_length : server -> int
 val est_free_at : t -> server -> float
 
 (** Estimated remaining work: current query remainder plus buffered
-    sizes (LWL's metric). *)
+    sizes (LWL's metric). O(1) — maintained incrementally. *)
 val est_work_left : t -> server -> float
 
 (** The canonical [drop_policy]: abandon queries whose last deadline
@@ -55,14 +74,17 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
     the arrival-sorted [queries] to completion. [on_dispatch] observes
     every dispatch decision (capacity planning hooks in here);
     [on_complete] observes every completion (per-class breakdowns hook
-    in here). [speeds] makes the farm heterogeneous (Sec 6.2's claim):
-    one positive rate per server, execution takes [size/speed].
-    [drop_policy ~now q = true] abandons buffered query [q] at a
-    scheduling point instead of ever executing it (paper footnote 2's
-    alternative; the query keeps its penalty). *)
+    in here). [on_server_event] observes the per-server buffer life
+    cycle (incremental scheduler state hooks in here — see
+    {!Schedulers.instantiate}). [speeds] makes the farm heterogeneous
+    (Sec 6.2's claim): one positive rate per server, execution takes
+    [size/speed]. [drop_policy ~now q = true] abandons buffered query
+    [q] at a scheduling point instead of ever executing it (paper
+    footnote 2's alternative; the query keeps its penalty). *)
 val run :
   ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
   ?on_complete:(Query.t -> completion:float -> unit) ->
+  ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->
   ?speeds:float array ->
   ?drop_policy:(now:float -> Query.t -> bool) ->
   queries:Query.t array ->

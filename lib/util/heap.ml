@@ -5,20 +5,26 @@
 type 'a t = {
   mutable data : 'a array;
   mutable size : int;
+  want : int;
   cmp : 'a -> 'a -> int;
 }
 
+(* The backing array is allocated lazily at the first push (there is no
+   dummy ['a] to fill it with before that), but at the requested
+   [capacity], so a correctly sized heap never regrows. *)
 let create ?(capacity = 16) cmp =
-  { data = [||]; size = 0; cmp = (ignore capacity; cmp) }
+  { data = [||]; size = 0; want = max capacity 1; cmp }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
+let capacity t = if Array.length t.data = 0 then t.want else Array.length t.data
+
 let grow t x =
   let cap = Array.length t.data in
   if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ncap = if cap = 0 then t.want else cap * 2 in
     let ndata = Array.make ncap x in
     Array.blit t.data 0 ndata 0 t.size;
     t.data <- ndata

@@ -6,11 +6,19 @@
 
 type 'a t
 
-(** [create cmp] makes an empty heap ordered by [cmp] (minimum first). *)
+(** [create cmp] makes an empty heap ordered by [cmp] (minimum first).
+
+    [capacity] (default 16) sizes the backing array: pushing up to
+    [capacity] elements performs exactly one allocation and never
+    regrows. The array itself is allocated at the first [push]. *)
 val create : ?capacity:int -> ('a -> 'a -> int) -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Current backing-array size (the requested [capacity] before the
+    first push). [push] only allocates when [length] reaches this. *)
+val capacity : 'a t -> int
 
 val push : 'a t -> 'a -> unit
 

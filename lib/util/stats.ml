@@ -59,11 +59,11 @@ let of_array xs =
 
 let mean_of_array xs = mean (of_array xs)
 
-let percentile xs p =
-  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
+let percentile_of_sorted sorted p =
+  if Array.length sorted = 0 then
+    invalid_arg "Stats.percentile_of_sorted: empty array";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_of_sorted: p out of range";
   let n = Array.length sorted in
   let rank = p /. 100.0 *. Float.of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
@@ -73,6 +73,13 @@ let percentile xs p =
     let frac = rank -. Float.of_int lo in
     (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
   end
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_of_sorted sorted p
 
 let pp ppf t =
   Fmt.pf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" t.count (mean t)

@@ -29,7 +29,13 @@ val merge : t -> t -> t
 val of_array : float array -> t
 val mean_of_array : float array -> float
 
-(** Linear-interpolation percentile, [p] in [0, 100]. *)
+(** Linear-interpolation percentile, [p] in [0, 100]. Copies and sorts
+    the array on every call; for repeated queries over the same data,
+    sort once and use {!percentile_of_sorted}. *)
 val percentile : float array -> float -> float
+
+(** {!percentile} over an array the caller has already sorted
+    ascending; no copy, no sort. *)
+val percentile_of_sorted : float array -> float -> float
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+(* Incremental-vs-rebuild equivalence: the ISSUE's contract is that the
+   incremental SLA-tree scheduler and the O(1) FCFS dispatcher make
+   exactly the same decisions as the rebuild-per-decision paths they
+   replace. Both paths are driven inside one simulation run, so every
+   single decision is compared on identical state. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let trace ~kind ~sigma2 ~load ~servers ~n_queries ~seed =
+  let error =
+    if sigma2 > 0.0 then Estimate_error.gaussian ~sigma2 ()
+    else Estimate_error.none
+  in
+  Trace.generate
+    (Trace.config ~error ~kind ~profile:Workloads.Sla_b ~load ~servers
+       ~n_queries ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: Incr_sched vs Schedulers.fcfs_sla_tree (rebuild). *)
+
+(* Runs one simulation where each scheduling decision is answered by
+   the live incremental tree AND recomputed from scratch; returns
+   (decisions, mismatches, state) so callers can also assert on the
+   fast/rebuilt counters. *)
+let run_scheduler_both ?drop_policy ~queries ~servers () =
+  let st = Incr_sched.create () in
+  let rebuild = Schedulers.pick Schedulers.fcfs_sla_tree in
+  let decisions = ref 0 and mismatches = ref 0 in
+  let pick ~now buffer =
+    let a = Incr_sched.pick st ~now buffer in
+    let b = rebuild ~now buffer in
+    incr decisions;
+    if a <> b then incr mismatches;
+    a
+  in
+  let metrics = Metrics.create ~warmup_id:0 in
+  Sim.run ?drop_policy
+    ~on_server_event:(Incr_sched.hook st)
+    ~queries ~n_servers:servers ~pick_next:pick
+    ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
+    ~metrics ();
+  (!decisions, !mismatches, st)
+
+let test_scheduler_equiv_exp () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:0.95 ~servers:3
+      ~n_queries:1_500 ~seed:101
+  in
+  let decisions, mismatches, st = run_scheduler_both ~queries ~servers:3 () in
+  check_bool "made decisions" true (decisions > 500);
+  check_int "no pick mismatches" 0 mismatches;
+  check_bool
+    (Printf.sprintf "fast path dominates (%d fast vs %d rebuilt)"
+       (Incr_sched.fast_decisions st)
+       (Incr_sched.rebuilt_decisions st))
+    true
+    (Incr_sched.fast_decisions st > Incr_sched.rebuilt_decisions st)
+
+let test_scheduler_equiv_pareto () =
+  (* Heavy-tailed sizes plus estimation error: completions drift far
+     from the estimates, exercising pop_head's delay absorption. *)
+  let queries =
+    trace ~kind:Workloads.Pareto ~sigma2:1.0 ~load:1.05 ~servers:2
+      ~n_queries:1_500 ~seed:202
+  in
+  let decisions, mismatches, _ = run_scheduler_both ~queries ~servers:2 () in
+  check_bool "made decisions" true (decisions > 500);
+  check_int "no pick mismatches" 0 mismatches
+
+let test_scheduler_equiv_with_drops () =
+  (* Overload with the drop policy on: Dropped events dirty the live
+     trees and force the reconstruct path; picks must still agree. *)
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.6 ~servers:2
+      ~n_queries:1_200 ~seed:303
+  in
+  let _, mismatches, _ =
+    run_scheduler_both ~drop_policy:Sim.drop_past_last_deadline ~queries
+      ~servers:2 ()
+  in
+  check_int "no pick mismatches under drops" 0 mismatches
+
+let prop_scheduler_equiv_random_seeds =
+  QCheck.Test.make ~name:"scheduler picks equal over random seeds" ~count:8
+    QCheck.(pair (int_bound 100_000) bool)
+    (fun (seed, heavy) ->
+      let kind = if heavy then Workloads.Pareto else Workloads.Exp in
+      let queries =
+        trace ~kind ~sigma2:0.2 ~load:1.0 ~servers:2 ~n_queries:1_000 ~seed
+      in
+      let _, mismatches, _ = run_scheduler_both ~queries ~servers:2 () in
+      mismatches = 0)
+
+let test_scheduler_end_to_end_metrics_equal () =
+  (* Whole-trajectory check through the public Schedulers API: the
+     incremental variant (with its hook installed) must reproduce the
+     rebuild variant's metrics bit-for-bit. *)
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:0.95 ~servers:3
+      ~n_queries:1_500 ~seed:404
+  in
+  let run sched =
+    let metrics = Metrics.create ~warmup_id:500 in
+    let pick_next, hook = Schedulers.instantiate sched in
+    Sim.run ?on_server_event:hook ~queries ~n_servers:3 ~pick_next
+      ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
+      ~metrics ();
+    metrics
+  in
+  let a = run Schedulers.fcfs_sla_tree in
+  let b = run Schedulers.fcfs_sla_tree_incr in
+  Alcotest.(check (float 0.0))
+    "identical avg loss" (Metrics.avg_loss a) (Metrics.avg_loss b);
+  Alcotest.(check (float 0.0))
+    "identical avg response" (Metrics.avg_response a) (Metrics.avg_response b);
+  check_int "identical late count" (Metrics.late_count a) (Metrics.late_count b)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: fcfs_sla_tree_incr vs sla_tree Planner.fcfs. *)
+
+let run_dispatcher_both ?speeds ~admission ~queries ~servers () =
+  let d_incr = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ~admission ()) in
+  let d_tree = Dispatchers.instantiate (Dispatchers.sla_tree ~admission Planner.fcfs) in
+  let decisions = ref 0 and mismatches = ref 0 in
+  let dispatch sim q =
+    let a = d_incr sim q in
+    let b = d_tree sim q in
+    incr decisions;
+    if a.Sim.target <> b.Sim.target then incr mismatches;
+    a
+  in
+  let metrics = Metrics.create ~warmup_id:0 in
+  Sim.run ?speeds ~queries ~n_servers:servers
+    ~pick_next:(Schedulers.pick Schedulers.fcfs)
+    ~dispatch ~metrics ();
+  (!decisions, !mismatches)
+
+let test_dispatcher_equiv_exp () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:0.95 ~servers:4
+      ~n_queries:1_500 ~seed:505
+  in
+  let decisions, mismatches =
+    run_dispatcher_both ~admission:false ~queries ~servers:4 ()
+  in
+  check_int "every arrival dispatched through both" 1_500 decisions;
+  check_int "no target mismatches" 0 mismatches
+
+let test_dispatcher_equiv_pareto_heterogeneous () =
+  (* Heterogeneous speeds: the O(1) profit must keep the paper's
+     per-server speed scaling exactly like the tree-based what-if. *)
+  let queries =
+    trace ~kind:Workloads.Pareto ~sigma2:1.0 ~load:1.0 ~servers:3
+      ~n_queries:1_500 ~seed:606
+  in
+  let _, mismatches =
+    run_dispatcher_both ~speeds:[| 1.0; 0.5; 2.0 |] ~admission:false ~queries
+      ~servers:3 ()
+  in
+  check_int "no target mismatches (heterogeneous)" 0 mismatches
+
+let test_dispatcher_equiv_admission () =
+  (* Saturated farm with admission control: accept/reject decisions
+     (target = None) must also coincide. *)
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.6 ~servers:2
+      ~n_queries:1_200 ~seed:707
+  in
+  let _, mismatches =
+    run_dispatcher_both ~admission:true ~queries ~servers:2 ()
+  in
+  check_int "no accept/reject mismatches" 0 mismatches
+
+let prop_dispatcher_equiv_random_seeds =
+  QCheck.Test.make ~name:"dispatcher targets equal over random seeds" ~count:8
+    QCheck.(pair (int_bound 100_000) bool)
+    (fun (seed, heavy) ->
+      let kind = if heavy then Workloads.Pareto else Workloads.Exp in
+      let queries =
+        trace ~kind ~sigma2:0.2 ~load:1.0 ~servers:3 ~n_queries:1_000 ~seed
+      in
+      let _, mismatches =
+        run_dispatcher_both ~admission:false ~queries ~servers:3 ()
+      in
+      mismatches = 0)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "exp workload" `Quick test_scheduler_equiv_exp;
+          Alcotest.test_case "pareto + estimate error" `Quick
+            test_scheduler_equiv_pareto;
+          Alcotest.test_case "drop policy" `Quick
+            test_scheduler_equiv_with_drops;
+          Alcotest.test_case "end-to-end metrics equal" `Quick
+            test_scheduler_end_to_end_metrics_equal;
+          qtest prop_scheduler_equiv_random_seeds;
+        ] );
+      ( "dispatcher",
+        [
+          Alcotest.test_case "exp workload" `Quick test_dispatcher_equiv_exp;
+          Alcotest.test_case "pareto heterogeneous" `Quick
+            test_dispatcher_equiv_pareto_heterogeneous;
+          Alcotest.test_case "admission control" `Quick
+            test_dispatcher_equiv_admission;
+          qtest prop_dispatcher_equiv_random_seeds;
+        ] );
+    ]

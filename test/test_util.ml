@@ -190,6 +190,129 @@ let prop_heap_sorts =
       let out = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
       out = List.sort Int.compare xs)
 
+(* Regression: [create ~capacity] used to ignore the argument, so a
+   heap sized for its workload still regrew through 16, 32, ... *)
+let test_heap_capacity_respected () =
+  let h = Heap.create ~capacity:100 Int.compare in
+  check_int "capacity reported before first push" 100 (Heap.capacity h);
+  for i = 1 to 100 do
+    Heap.push h i
+  done;
+  check_int "no grow while filling to capacity" 100 (Heap.capacity h);
+  Heap.push h 101;
+  check_int "doubles only past capacity" 200 (Heap.capacity h)
+
+(* ------------------------------------------------------------------ *)
+(* Deque *)
+
+let test_deque_fifo () =
+  let d = Deque.create () in
+  check_bool "empty" true (Deque.is_empty d);
+  List.iter (Deque.push_back d) [ 1; 2; 3 ];
+  check_int "length" 3 (Deque.length d);
+  check_bool "peek" true (Deque.peek_front d = Some 1);
+  check_int "pop 1" 1 (Deque.pop_front d);
+  check_int "pop 2" 2 (Deque.pop_front d);
+  Deque.push_back d 4;
+  check_int "pop 3" 3 (Deque.pop_front d);
+  check_int "pop 4" 4 (Deque.pop_front d);
+  check_bool "drained" true (Deque.is_empty d);
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Deque.pop_front: empty deque") (fun () ->
+      ignore (Deque.pop_front d))
+
+let test_deque_wraparound () =
+  (* Small capacity so the ring's head passes the physical end many
+     times; order must survive the wraps and the mid-life grow. *)
+  let d = Deque.create ~capacity:4 () in
+  let next = ref 0 and expected = ref 0 in
+  for round = 1 to 50 do
+    for _ = 1 to 3 do
+      Deque.push_back d !next;
+      incr next
+    done;
+    let drain = if round mod 7 = 0 then 1 else 3 in
+    for _ = 1 to min drain (Deque.length d) do
+      check_int "fifo across wraps" !expected (Deque.pop_front d);
+      incr expected
+    done
+  done;
+  Alcotest.(check (list int))
+    "suffix intact"
+    (List.init (!next - !expected) (fun i -> !expected + i))
+    (Deque.to_list d)
+
+let test_deque_remove () =
+  let d = Deque.create ~capacity:2 () in
+  List.iter (Deque.push_back d) [ 10; 11; 12; 13; 14 ];
+  check_int "remove middle" 12 (Deque.remove d 2);
+  check_int "remove front" 10 (Deque.remove d 0);
+  check_int "remove back" 14 (Deque.remove d 2);
+  Alcotest.(check (list int)) "order preserved" [ 11; 13 ] (Deque.to_list d);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Deque.remove: index out of bounds") (fun () ->
+      ignore (Deque.remove d 2))
+
+let test_deque_filter_in_place () =
+  let d = Deque.create ~capacity:3 () in
+  (* Pop twice first so the live region straddles the physical end. *)
+  List.iter (Deque.push_back d) [ 90; 91; 1; 2; 3; 4; 5; 6 ];
+  check_int "pre-pop" 90 (Deque.pop_front d);
+  check_int "pre-pop" 91 (Deque.pop_front d);
+  let removed = Deque.filter_in_place d ~f:(fun v -> v mod 2 = 0) in
+  Alcotest.(check (list int)) "removed front-to-back" [ 1; 3; 5 ] removed;
+  Alcotest.(check (list int)) "survivors in order" [ 2; 4; 6 ] (Deque.to_list d);
+  let none = Deque.filter_in_place d ~f:(fun _ -> true) in
+  Alcotest.(check (list int)) "keep-all removes nothing" [] none
+
+(* Fuzz the deque against a plain-list oracle while mirroring the
+   simulator's use: a running "work left" total maintained
+   incrementally on push/pop/remove/filter must always equal the sum
+   of the live elements. *)
+let prop_deque_matches_list_oracle =
+  QCheck.Test.make ~name:"deque agrees with list oracle (incl. work-left)"
+    ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 100)))
+    (fun ops ->
+      let d = Deque.create ~capacity:2 () in
+      let oracle = ref [] in
+      let backlog = ref 0 in
+      let ok = ref true in
+      let expect b = if not b then ok := false in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 | 1 | 2 ->
+            Deque.push_back d x;
+            oracle := !oracle @ [ x ];
+            backlog := !backlog + x
+          | 3 -> (
+            match !oracle with
+            | [] -> expect (Deque.is_empty d)
+            | hd :: tl ->
+              expect (Deque.pop_front d = hd);
+              oracle := tl;
+              backlog := !backlog - hd)
+          | 4 ->
+            if !oracle <> [] then begin
+              let i = x mod List.length !oracle in
+              let v = List.nth !oracle i in
+              expect (Deque.remove d i = v);
+              oracle := List.filteri (fun j _ -> j <> i) !oracle;
+              backlog := !backlog - v
+            end
+          | _ ->
+            let keep v = v mod 3 <> x mod 3 in
+            let removed = Deque.filter_in_place d ~f:keep in
+            expect (removed = List.filter (fun v -> not (keep v)) !oracle);
+            oracle := List.filter keep !oracle;
+            List.iter (fun v -> backlog := !backlog - v) removed)
+        ops;
+      !ok
+      && Deque.to_list d = !oracle
+      && Deque.length d = List.length !oracle
+      && Deque.fold d ~init:0 ~f:( + ) = !backlog)
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -388,7 +511,18 @@ let () =
           Alcotest.test_case "exn on empty" `Quick test_heap_exn_on_empty;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "to_list" `Quick test_heap_to_list;
+          Alcotest.test_case "capacity respected" `Quick
+            test_heap_capacity_respected;
           qtest prop_heap_sorts;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "fifo" `Quick test_deque_fifo;
+          Alcotest.test_case "wraparound" `Quick test_deque_wraparound;
+          Alcotest.test_case "remove" `Quick test_deque_remove;
+          Alcotest.test_case "filter_in_place" `Quick
+            test_deque_filter_in_place;
+          qtest prop_deque_matches_list_oracle;
         ] );
       ( "stats",
         [
