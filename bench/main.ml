@@ -105,7 +105,8 @@ let run_micro () =
       in
       Fmt.pr "%-36s %14s@." name pretty)
     rows;
-  Fmt.pr "@."
+  Fmt.pr "@.";
+  rows
 
 (* Part 1b — sim.throughput: whole simulator runs through the FCFS
    SLA-tree scheduling+dispatching pair, rebuild-per-decision vs the
@@ -147,21 +148,121 @@ let run_sim_throughput scale =
   Fmt.pr "=== sim.throughput: rebuild vs incremental FCFS SLA-tree ===@.";
   Fmt.pr "%-9s %-11s %12s %12s %9s@." "queries" "peak buffer" "rebuild"
     "incremental" "speedup";
+  let rows =
+    List.map
+      (fun n ->
+        let queries = throughput_case ~n_queries:n in
+        let rebuild_ms, peak =
+          timed_run ~queries ~scheduler:Schedulers.fcfs_sla_tree
+            ~dispatcher:(Dispatchers.sla_tree Planner.fcfs)
+        in
+        let incr_ms, _ =
+          timed_run ~queries ~scheduler:Schedulers.fcfs_sla_tree_incr
+            ~dispatcher:(Dispatchers.fcfs_sla_tree_incr ())
+        in
+        Fmt.pr "%-9d %-11d %9.1f ms %9.1f ms %8.1fx@." n peak rebuild_ms incr_ms
+          (rebuild_ms /. incr_ms);
+        (n, peak, rebuild_ms, incr_ms))
+      sizes
+  in
+  Fmt.pr "@.";
+  rows
+
+(* Part 1c — the elastic scenario: the full four-way autoscaling
+   comparison (Exp_elastic), timed end to end. *)
+let run_elastic scale =
+  Fmt.pr "=== elastic: autoscaling comparison (%d queries) ===@."
+    scale.Exp_scale.n_queries;
+  Gc.compact ();
+  let t0 = Sys.time () in
+  let rows =
+    Exp_elastic.rows ~scale ~seed:scale.Exp_scale.base_seed ()
+  in
+  let wall_ms = (Sys.time () -. t0) *. 1e3 in
   List.iter
-    (fun n ->
-      let queries = throughput_case ~n_queries:n in
-      let rebuild_ms, peak =
-        timed_run ~queries ~scheduler:Schedulers.fcfs_sla_tree
-          ~dispatcher:(Dispatchers.sla_tree Planner.fcfs)
-      in
-      let incr_ms, _ =
-        timed_run ~queries ~scheduler:Schedulers.fcfs_sla_tree_incr
-          ~dispatcher:(Dispatchers.fcfs_sla_tree_incr ())
-      in
-      Fmt.pr "%-9d %-11d %9.1f ms %9.1f ms %8.1fx@." n peak rebuild_ms incr_ms
-        (rebuild_ms /. incr_ms))
-    sizes;
-  Fmt.pr "@."
+    (fun (r : Exp_elastic.row) ->
+      Fmt.pr "%-20s net $%8.0f (profit %8.0f, cost %8.0f)@."
+        r.Exp_elastic.label r.Exp_elastic.net r.Exp_elastic.profit
+        r.Exp_elastic.cost)
+    rows;
+  Fmt.pr "four runs in %.1f ms@.@." wall_ms;
+  (wall_ms, rows)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_sim.json). Hand-rolled writer: the
+   schema is flat and the toolchain has no JSON dependency. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let emit_json ~path ~scale ~micro ~throughput ~elastic =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add (Printf.sprintf "  \"schema\": \"slatree-bench/1\",\n");
+  add (Printf.sprintf "  \"scale\": \"%s\",\n" (json_escape (Exp_scale.name scale)));
+  add (Printf.sprintf "  \"n_queries\": %d,\n" scale.Exp_scale.n_queries);
+  add "  \"micro_ns\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      add
+        (Printf.sprintf "    {\"name\": \"%s\", \"ns\": %s}%s\n"
+           (json_escape name) (json_float ns)
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  add "  ],\n";
+  add "  \"sim_throughput\": [\n";
+  List.iteri
+    (fun i (n, peak, rebuild_ms, incr_ms) ->
+      add
+        (Printf.sprintf
+           "    {\"queries\": %d, \"peak_buffer\": %d, \"rebuild_ms\": %s, \
+            \"incremental_ms\": %s, \"speedup\": %s}%s\n"
+           n peak (json_float rebuild_ms) (json_float incr_ms)
+           (json_float (rebuild_ms /. incr_ms))
+           (if i = List.length throughput - 1 then "" else ",")))
+    throughput;
+  add "  ],\n";
+  let wall_ms, rows = elastic in
+  add "  \"elastic\": {\n";
+  add (Printf.sprintf "    \"wall_ms\": %s,\n" (json_float wall_ms));
+  add "    \"rows\": [\n";
+  List.iteri
+    (fun i (r : Exp_elastic.row) ->
+      add
+        (Printf.sprintf
+           "      {\"policy\": \"%s\", \"initial\": %d, \"profit\": %s, \
+            \"server_time\": %s, \"cost\": %s, \"net\": %s, \"peak_pool\": %d, \
+            \"min_pool\": %d, \"scale_ups\": %d, \"scale_downs\": %d}%s\n"
+           (json_escape r.Exp_elastic.label)
+           r.Exp_elastic.initial
+           (json_float r.Exp_elastic.profit)
+           (json_float r.Exp_elastic.server_time)
+           (json_float r.Exp_elastic.cost)
+           (json_float r.Exp_elastic.net)
+           r.Exp_elastic.peak r.Exp_elastic.low r.Exp_elastic.ups
+           r.Exp_elastic.downs
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  add "    ]\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let () =
   let ppf = Format.std_formatter in
@@ -174,8 +275,10 @@ let () =
   (* Timed before the bechamel pass: its measurement loops leave the
      process in a state (heap shape, GC tuning) that skews wall-clock
      numbers taken afterwards. *)
-  run_sim_throughput scale;
-  run_micro ();
+  let throughput = run_sim_throughput scale in
+  let elastic = run_elastic scale in
+  let micro = run_micro () in
+  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

@@ -94,6 +94,21 @@ let run_ablation which scale_opt =
            sched|dispatch|admission|incremental|predictor|fairness|hetero|drop|optimality|all)"
           s )
 
+let elastic_policy_of_string = function
+  | "sla-tree" -> Ok Elastic.sla_tree_policy
+  | "queue" -> Ok (Elastic.queue_threshold ())
+  | "static" -> Ok Elastic.static
+  | s -> Error (Printf.sprintf "unknown policy %S (sla-tree|queue|static)" s)
+
+let run_elastic compare policy servers scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  if compare then `Ok (Exp_elastic.run ppf scale)
+  else
+    match elastic_policy_of_string policy with
+    | Error e -> `Error (false, e)
+    | Ok policy -> `Ok (Exp_elastic.run_policy ppf ~policy ~initial:servers scale)
+
 let run_validate scale_opt =
   let scale = resolve_scale scale_opt in
   print_scale scale;
@@ -287,6 +302,26 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Run an ablation study beyond the paper's tables")
     Term.(ret (const run_ablation $ which $ scale_arg))
 
+let elastic_cmd =
+  let compare =
+    Arg.(value & flag & info [ "compare" ]
+           ~doc:"Run the full comparison (static-small / static-large / \
+                 SLA-tree autoscaler / queue-threshold)")
+  in
+  let policy =
+    Arg.(value & opt string "sla-tree" & info [ "policy" ] ~docv:"P"
+           ~doc:"Autoscaling policy: sla-tree | queue | static")
+  in
+  let servers =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"M" ~doc:"Initial pool size")
+  in
+  Cmd.v
+    (Cmd.info "elastic"
+       ~doc:
+         "Autoscale the server pool on a diurnal workload using SLA-tree \
+          what-if probes")
+    Term.(ret (const run_elastic $ compare $ policy $ servers $ scale_arg))
+
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
@@ -360,6 +395,9 @@ let main =
   Cmd.group
     (Cmd.info "slatree" ~version:"1.0.0"
        ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
-    [ table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; validate_cmd; trace_cmd ]
+    [
+      table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
+      validate_cmd; trace_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,92 @@
+(* Online autoscaling with SLA-tree what-if probes (beyond the paper).
+
+   A day in the life of an elastic database farm: the arrival rate
+   follows a diurnal curve that swings from a deep overnight trough to
+   a peak no small static pool can survive. Every few hundred
+   milliseconds a controller weighs two SLA-tree questions — "what
+   would one more server have earned this window?" (the capacity
+   margin g0 - gi) and "what does retiring the cheapest server
+   destroy?" (best re-insertion of its buffer elsewhere) — against a
+   $/server-ms rent, then grows the pool or drains a server.
+
+   Run with: dune exec examples/autoscale.exe *)
+
+let n_queries = 6_000
+let base_servers = 4
+let seed = 31415
+
+let () =
+  let mu = Workloads.nominal_mean_ms Workloads.Exp in
+  (* Five simulated "days"; the mean demand is about one pool of
+     [base_servers], but the peak wants twice that and the trough
+     almost none. *)
+  let low, high = (0.1, 2.0) in
+  let span =
+    Float.of_int n_queries *. mu
+    /. ((low +. high) /. 2.0 *. Float.of_int base_servers)
+  in
+  let period = span /. 5.0 in
+  let interval = period /. 24.0 in
+  let cfg =
+    Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:1.0
+      ~servers:base_servers ~n_queries ~seed ()
+  in
+  let queries = Bursty.generate cfg (Bursty.diurnal ~period ~low ~high ()) in
+  let config =
+    Elastic.config ~interval ~cost_per_interval:(0.0225 *. interval)
+      ~boot_delay:(interval /. 2.0) ~cooldown:(2.0 *. interval) ~min_servers:2
+      ~max_servers:8 ()
+  in
+  Fmt.pr "Diurnal Exp/SLA-B workload: %d queries over ~%.0f ms (%.0f ms days),@."
+    n_queries span period;
+  Fmt.pr "rent $%.4f per server-ms, decision every %.0f ms.@.@." 0.0225 interval;
+  let run policy initial =
+    let metrics, s =
+      Elastic.run ~policy ~config ~queries ~n_servers:initial ~warmup_id:0 ()
+    in
+    let profit = Metrics.total_profit metrics in
+    Fmt.pr "  %-14s start=%d  profit $%7.0f  rent $%6.0f  net $%7.0f  pool %d..%d@."
+      (Elastic.policy_name policy)
+      initial profit s.Elastic.cost
+      (profit -. s.Elastic.cost)
+      s.Elastic.min_pool s.Elastic.peak_pool;
+    (s, profit)
+  in
+  let _ = run Elastic.static 4 in
+  let _ = run Elastic.static 8 in
+  let s, _ = run Elastic.sla_tree_policy 4 in
+  let _ = run (Elastic.queue_threshold ()) 4 in
+  Fmt.pr "@.The SLA-tree controller's day (%d ups, %d downs):@." s.Elastic.scale_ups
+    s.Elastic.scale_downs;
+  (* A sparkline of the pool size over the run, one bucket per
+     half-interval. *)
+  let pool = ref 4 and events = ref s.Elastic.events in
+  let buckets = 72 in
+  let dt = span /. Float.of_int buckets in
+  let line = Buffer.create buckets in
+  for b = 0 to buckets - 1 do
+    let t = Float.of_int b *. dt in
+    let rec apply () =
+      match !events with
+      | (te, a) :: rest when te <= t ->
+        (match a with
+        | Elastic.Scale_up k -> pool := !pool + k
+        | Elastic.Scale_down k -> pool := !pool - k
+        | Elastic.Hold -> ());
+        events := rest;
+        apply ()
+      | _ -> ()
+    in
+    apply ();
+    Buffer.add_string line
+      (match !pool with
+      | n when n <= 2 -> "▁"
+      | 3 -> "▂"
+      | 4 -> "▃"
+      | 5 -> "▄"
+      | 6 -> "▅"
+      | 7 -> "▆"
+      | _ -> "█")
+  done;
+  Fmt.pr "  pool |%s|@." (Buffer.contents line);
+  Fmt.pr "       (each cell ~%.0f ms; the five humps are the five days)@." dt

@@ -14,27 +14,44 @@ type estimate = {
   measured : int;
 }
 
-(* One run with [n_servers] and SLA-tree dispatching over [planner]-
-   ordered buffers, returning the run metrics and the margin
+(* The probe both the estimator and the elastic controller accumulate:
+   what the arriving query would have earned on a fictitious idle
+   server beyond what the chosen real server offers. [None] when the
+   dispatcher did not report its insertion profit. *)
+let margin ~now q (d : Sim.decision) =
+  match d.Sim.est_delta with
+  | None -> None
+  | Some gi -> Some (What_if.idle_server_profit ~now q -. gi)
+
+(* The one shared run configuration: SLA-tree dispatching over
+   [planner]-ordered buffers, [scheduler] picking next, fresh metrics.
+   Both the estimation pass and the ground-truth replays go through
+   here, so they cannot drift apart (and stateful schedulers get their
+   per-run server-event hook installed exactly once). *)
+let run_sim ?on_dispatch ~queries ~n_servers ~planner ~scheduler ~warmup_id () =
+  let metrics = Metrics.create ~warmup_id in
+  let pick_next, hook = Schedulers.instantiate scheduler in
+  Sim.run ?on_dispatch ?on_server_event:hook ~queries ~n_servers ~pick_next
+    ~dispatch:(Dispatchers.instantiate (Dispatchers.sla_tree planner))
+    ~metrics ();
+  metrics
+
+(* One run with [n_servers], returning the run metrics and the margin
    accumulator. [warmup_id] bounds the measured window. *)
 let run_with_estimation ~queries ~n_servers ~planner ~scheduler ~warmup_id =
-  let metrics = Metrics.create ~warmup_id in
-  let margin = Stats.create () in
-  let dispatch = Dispatchers.instantiate (Dispatchers.sla_tree planner) in
+  let acc = Stats.create () in
   let on_dispatch ~now q (d : Sim.decision) =
-    match d.est_delta with
-    | Some gi when q.Query.id >= warmup_id ->
-      let g0 = What_if.idle_server_profit ~now q in
-      Stats.add margin (g0 -. gi)
-    | Some _ | None -> ()
+    if q.Query.id >= warmup_id then
+      match margin ~now q d with Some m -> Stats.add acc m | None -> ()
   in
-  Sim.run ~on_dispatch ~queries ~n_servers ~pick_next:(Schedulers.pick scheduler)
-    ~dispatch ~metrics ();
+  let metrics =
+    run_sim ~on_dispatch ~queries ~n_servers ~planner ~scheduler ~warmup_id ()
+  in
   ( metrics,
     {
-      est_margin_per_query = Stats.mean margin;
+      est_margin_per_query = Stats.mean acc;
       avg_loss = Metrics.avg_loss metrics;
-      measured = Stats.count margin;
+      measured = Stats.count acc;
     } )
 
 (* Ground truth (Sec 7.4): same trace, n vs n+1 servers; the margin is
@@ -42,10 +59,7 @@ let run_with_estimation ~queries ~n_servers ~planner ~scheduler ~warmup_id =
    per-query loss. *)
 let ground_truth ~queries ~n_servers ~planner ~scheduler ~warmup_id =
   let run m =
-    let metrics = Metrics.create ~warmup_id in
-    let dispatch = Dispatchers.instantiate (Dispatchers.sla_tree planner) in
-    Sim.run ~queries ~n_servers:m ~pick_next:(Schedulers.pick scheduler)
-      ~dispatch ~metrics ();
-    Metrics.avg_profit metrics
+    Metrics.avg_profit
+      (run_sim ~queries ~n_servers:m ~planner ~scheduler ~warmup_id ())
   in
   run (n_servers + 1) -. run n_servers

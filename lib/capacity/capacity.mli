@@ -9,6 +9,26 @@ type estimate = {
   measured : int;
 }
 
+(** [margin ~now q d] is [g0 - gi] for one dispatch decision: the
+    profit the query would earn starting immediately on a fictitious
+    idle server, minus the insertion profit the dispatcher reported
+    for its chosen server. [None] when the dispatcher reports no
+    [est_delta]. The elastic controller accumulates the same probe. *)
+val margin : now:float -> Query.t -> Sim.decision -> float option
+
+(** One simulation run with SLA-tree dispatching over [planner]-ordered
+    buffers — the shared substrate of {!run_with_estimation} and
+    {!ground_truth} (exposed for reuse and tests). *)
+val run_sim :
+  ?on_dispatch:(now:float -> Query.t -> Sim.decision -> unit) ->
+  queries:Query.t array ->
+  n_servers:int ->
+  planner:Planner.t ->
+  scheduler:Schedulers.t ->
+  warmup_id:int ->
+  unit ->
+  Metrics.t
+
 (** Run the system with SLA-tree dispatching and accumulate the margin
     estimate alongside normal metrics. *)
 val run_with_estimation :

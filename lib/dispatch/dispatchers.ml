@@ -17,7 +17,16 @@ let instantiate t = t.make ()
    friends). *)
 let v ~name make = { name; make }
 
-(* Uniformly random server — the weakest sensible baseline. *)
+(* All dispatchers consider only servers currently accepting work
+   (booting and draining servers are skipped — see Sim's pool life
+   cycle); on a static pool every server qualifies and behavior is
+   unchanged. *)
+
+let no_server () = invalid_arg "Dispatchers: no server accepts work"
+
+(* Uniformly random dispatchable server — the weakest sensible
+   baseline. Draw order matches the static-pool stream: index k among
+   the dispatchable servers in sid order. *)
 let random ~seed =
   {
     name = "Random";
@@ -25,7 +34,20 @@ let random ~seed =
       (fun () ->
         let rng = Prng.create seed in
         fun sim _q ->
-          { Sim.target = Some (Prng.int rng (Sim.n_servers sim)); est_delta = None });
+          let m = Sim.n_servers sim in
+          let avail = ref 0 in
+          for sid = 0 to m - 1 do
+            if Sim.dispatchable sim sid then incr avail
+          done;
+          if !avail = 0 then no_server ();
+          let k = ref (Prng.int rng !avail) and chosen = ref (-1) in
+          for sid = 0 to m - 1 do
+            if Sim.dispatchable sim sid then begin
+              if !k = 0 && !chosen < 0 then chosen := sid;
+              decr k
+            end
+          done;
+          { Sim.target = Some !chosen; est_delta = None });
   }
 
 let round_robin =
@@ -36,7 +58,12 @@ let round_robin =
         let next = ref 0 in
         fun sim _q ->
           let m = Sim.n_servers sim in
-          let sid = !next mod m in
+          let rec find tries sid =
+            if tries >= m then no_server ()
+            else if Sim.dispatchable sim sid then sid
+            else find (tries + 1) ((sid + 1) mod m)
+          in
+          let sid = find 0 (!next mod m) in
           next := (sid + 1) mod m;
           { Sim.target = Some sid; est_delta = None });
   }
@@ -48,14 +75,17 @@ let lwl =
     make =
       (fun () sim _q ->
         let m = Sim.n_servers sim in
-        let best = ref 0 and best_work = ref infinity in
+        let best = ref (-1) and best_work = ref infinity in
         for sid = 0 to m - 1 do
-          let w = Sim.est_work_left sim (Sim.server sim sid) in
-          if w < !best_work then begin
-            best := sid;
-            best_work := w
+          if Sim.dispatchable sim sid then begin
+            let w = Sim.est_work_left sim (Sim.server sim sid) in
+            if w < !best_work then begin
+              best := sid;
+              best_work := w
+            end
           end
         done;
+        if !best < 0 then no_server ();
         { Sim.target = Some !best; est_delta = None });
   }
 
@@ -100,18 +130,24 @@ let sla_tree_with ~name profit_of ~admission =
     make =
       (fun () sim q ->
         let m = Sim.n_servers sim in
-        let best = ref 0
+        let best = ref (-1)
         and best_delta = ref neg_infinity
         and best_work = ref infinity in
         for sid = 0 to m - 1 do
-          let d = profit_of sim sid q in
-          let w = Sim.est_work_left sim (Sim.server sim sid) in
-          if d > !best_delta || (d = !best_delta && w < !best_work) then begin
-            best := sid;
-            best_delta := d;
-            best_work := w
+          if Sim.dispatchable sim sid then begin
+            let d = profit_of sim sid q in
+            let w = Sim.est_work_left sim (Sim.server sim sid) in
+            if
+              !best < 0 || d > !best_delta
+              || (d = !best_delta && w < !best_work)
+            then begin
+              best := sid;
+              best_delta := d;
+              best_work := w
+            end
           end
         done;
+        if !best < 0 then no_server ();
         if admission && !best_delta < 0.0 then
           { Sim.target = None; est_delta = Some !best_delta }
         else { Sim.target = Some !best; est_delta = Some !best_delta });

@@ -58,17 +58,26 @@ let dispatcher ~cutoffs =
       (* Servers assigned to class c: those with sid mod classes = c
          (spares host the spill), least-work-left within the class. *)
       let best = ref (-1) and best_work = ref infinity in
-      for sid = 0 to m - 1 do
-        if sid mod classes = c mod classes then begin
+      let consider sid =
+        if Sim.dispatchable sim sid then begin
           let w = Sim.est_work_left sim (Sim.server sim sid) in
           if w < !best_work then begin
             best := sid;
             best_work := w
           end
         end
+      in
+      for sid = 0 to m - 1 do
+        if sid mod classes = c mod classes then consider sid
       done;
-      let sid = if !best >= 0 then !best else c mod m in
-      { Sim.target = Some sid; est_delta = None })
+      (* Elastic pools can leave a class with no accepting server;
+         spill to least-work-left over whoever accepts. *)
+      if !best < 0 then
+        for sid = 0 to m - 1 do
+          consider sid
+        done;
+      if !best < 0 then invalid_arg "Sita: no server accepts work";
+      { Sim.target = Some !best; est_delta = None })
 
 (* Build a SITA dispatcher for a workload by sampling it: the paper's
    experimental setting gives the dispatcher distribution knowledge,

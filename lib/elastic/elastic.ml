@@ -1,0 +1,422 @@
+(* Elastic server pool: SLA-tree-driven online autoscaling.
+
+   The paper's capacity-planning question — "what would one more
+   server earn?" (Secs 6.3, 7.4) — answered *online* and closed into a
+   control loop: a controller wakes every [interval] ms, weighs the
+   window's evidence against a $/server-interval price, and grows or
+   shrinks the simulator's pool (Sim.add_server / Sim.retire_server).
+
+   Two SLA-tree what-if probes feed the decision:
+
+   - scale-up: the fictitious-idle-server margin (g0 - gi), the same
+     per-arrival probe Capacity accumulates — summed over a decision
+     window it estimates the profit an (n+1)-th server would have
+     added during that window;
+
+   - scale-down: the removal probe "what if server s were gone?" —
+     every query buffered on s loses the profit of its slot on s and
+     earns its best insertion profit on the remaining pool instead.
+     The server minimizing that loss is the cheapest to retire.
+
+   Policies are pluggable (the SLA-tree policy above, a queue-length
+   threshold baseline, and a static no-op); the controller owns the
+   shared machinery: cost accounting (integral of pool size over
+   time), hysteresis factors, cooldown, min/max pool bounds, and the
+   boot delay on new servers. *)
+
+type config = {
+  interval : float;  (** decision interval, ms *)
+  cost_per_interval : float;  (** $ per server per interval *)
+  boot_delay : float;  (** ms before a new server accepts work *)
+  min_servers : int;
+  max_servers : int;
+  cooldown : float;  (** ms after any scale action before a scale-down *)
+  up_factor : float;  (** scale up when window gain > cost * up_factor *)
+  down_factor : float;
+      (** consider scale-down when window gain < cost * down_factor *)
+}
+
+let config ?(boot_delay = 0.0) ?(cooldown = 0.0) ?(up_factor = 1.0)
+    ?(down_factor = 0.5) ~interval ~cost_per_interval ~min_servers ~max_servers
+    () =
+  if interval <= 0.0 then invalid_arg "Elastic.config: interval must be positive";
+  if cost_per_interval < 0.0 then
+    invalid_arg "Elastic.config: cost must be non-negative";
+  if boot_delay < 0.0 then
+    invalid_arg "Elastic.config: boot_delay must be non-negative";
+  if cooldown < 0.0 then invalid_arg "Elastic.config: cooldown must be non-negative";
+  if min_servers < 1 then invalid_arg "Elastic.config: min_servers must be >= 1";
+  if max_servers < min_servers then
+    invalid_arg "Elastic.config: max_servers must be >= min_servers";
+  if up_factor <= 0.0 || down_factor < 0.0 || down_factor > up_factor then
+    invalid_arg "Elastic.config: need 0 <= down_factor <= up_factor, up_factor > 0";
+  {
+    interval;
+    cost_per_interval;
+    boot_delay;
+    min_servers;
+    max_servers;
+    cooldown;
+    up_factor;
+    down_factor;
+  }
+
+(* What a policy sees at each decision point: one window's worth of
+   evidence plus instantaneous pool state. *)
+type observation = {
+  now : float;
+  pool : int;  (** live servers (booting and draining included) *)
+  accepting : int;  (** servers currently accepting dispatches *)
+  queue_len : int;  (** buffered queries across the pool *)
+  backlog : float;  (** sum of estimated work left, ms *)
+  arrivals : int;  (** dispatches since the last decision *)
+  margin_per_query : float;
+      (** mean (g0 - gi) over the window; 0 when no arrival reported *)
+  removal_cost : float;
+      (** cheapest-server removal probe; [infinity] when shrinking is
+          not an option (pool at minimum, or probes unavailable) *)
+  cfg : config;
+}
+
+type action = Scale_up of int | Scale_down of int | Hold
+
+type policy = { name : string; decide : observation -> action }
+
+let policy_name p = p.name
+
+(* ------------------------------------------------------------------ *)
+(* The removal probe. *)
+
+(* Cost of retiring server [sid] right now: each query buffered on it
+   would lose its current slot (its estimated profit in the server's
+   FCFS schedule) and earn its best O(1) insertion profit on the rest
+   of the pool instead. Queries that migrate at a profit contribute
+   zero, not a negative cost: the probe asks what removal destroys,
+   and independent per-query relocation estimates already err on the
+   optimistic side (each ignores the others landing on the same
+   target). The running query finishes on [sid] either way. *)
+let removal_cost sim ~sid =
+  let srv = Sim.server sim sid in
+  let buffer = Sim.buffer_array srv in
+  if Array.length buffer = 0 then 0.0
+  else begin
+    let m = Sim.n_servers sim in
+    let slot_end = ref (Sim.est_free_at sim srv) in
+    let cost = ref 0.0 in
+    Array.iter
+      (fun q ->
+        slot_end := !slot_end +. (q.Query.est_size /. srv.Sim.speed);
+        let here = Query.profit_at q ~completion:!slot_end in
+        let best = ref neg_infinity in
+        for j = 0 to m - 1 do
+          if j <> sid && Sim.dispatchable sim j then begin
+            let p = Dispatchers.insertion_profit_fcfs sim j q in
+            if p > !best then best := p
+          end
+        done;
+        if !best > neg_infinity then
+          cost := !cost +. Float.max 0.0 (here -. !best))
+      buffer;
+    !cost
+  end
+
+(* The server cheapest to remove, among those accepting work (a drain
+   must leave at least one accepting server, so [None] unless two or
+   more accept). *)
+let cheapest_removal sim =
+  let m = Sim.n_servers sim in
+  let accepting = ref 0 in
+  for sid = 0 to m - 1 do
+    if Sim.dispatchable sim sid then incr accepting
+  done;
+  if !accepting < 2 then None
+  else begin
+    let best = ref None in
+    for sid = 0 to m - 1 do
+      if Sim.dispatchable sim sid then begin
+        let c = removal_cost sim ~sid in
+        match !best with
+        | Some (_, bc) when bc <= c -> ()
+        | _ -> best := Some (sid, c)
+      end
+    done;
+    !best
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Policies. *)
+
+(* The SLA-tree policy. Scale up when the window's accumulated idle-
+   server margin — what an extra server would have earned — beats its
+   price; scale down when the margin is far below the price AND the
+   removal probe says the cheapest server's buffer migrates for less
+   than one interval's rent. *)
+let sla_tree_policy =
+  {
+    name = "SLA-tree";
+    decide =
+      (fun o ->
+        let cfg = o.cfg in
+        let gain = o.margin_per_query *. Float.of_int o.arrivals in
+        let rent = cfg.cost_per_interval *. cfg.up_factor in
+        if gain > rent then
+          (* Evidence several rents deep means the pool lags a steep
+             ramp; adding servers two at a time halves the chase.
+             (Each margin sample priced one extra server, so k is
+             capped well below gain / rent.) *)
+          Scale_up (if gain > 4.0 *. rent then 2 else 1)
+        else if
+          gain < cfg.cost_per_interval *. cfg.down_factor
+          && o.removal_cost < cfg.cost_per_interval
+        then Scale_down 1
+        else Hold);
+  }
+
+(* Profit-blind baseline: react to the average queue length per
+   accepting server. *)
+let queue_threshold ?(up = 3.0) ?(down = 0.5) () =
+  if down >= up then invalid_arg "Elastic.queue_threshold: need down < up";
+  {
+    name = "queue-threshold";
+    decide =
+      (fun o ->
+        let per =
+          Float.of_int o.queue_len /. Float.of_int (max 1 o.accepting)
+        in
+        if per > up then Scale_up 1
+        else if per < down && o.removal_cost < infinity then Scale_down 1
+        else Hold);
+  }
+
+let static = { name = "static"; decide = (fun _ -> Hold) }
+
+(* ------------------------------------------------------------------ *)
+(* Controller. *)
+
+type summary = {
+  server_time : float;  (** integral of pool size over the run, ms*servers *)
+  cost : float;  (** server_time / interval * cost_per_interval *)
+  scale_ups : int;
+  scale_downs : int;
+  peak_pool : int;
+  min_pool : int;
+  decisions : int;
+  events : (float * action) list;  (** chronological scale actions *)
+}
+
+type t = {
+  cfg : config;
+  policy : policy;
+  mutable pool : int;
+  mutable acct_t : float;  (* last cost-accounting instant *)
+  mutable acc : float;  (* integral of pool over time *)
+  mutable last_action : float;
+  (* evidence window, reset at each decision *)
+  mutable win_margin_sum : float;
+  mutable win_margin_n : int;
+  mutable win_arrivals : int;
+  (* lifetime counters *)
+  mutable ups : int;
+  mutable downs : int;
+  mutable peak : int;
+  mutable low : int;
+  mutable decisions : int;
+  mutable events_rev : (float * action) list;
+}
+
+let create cfg policy ~initial_servers =
+  if initial_servers < 1 then
+    invalid_arg "Elastic.create: initial_servers must be >= 1";
+  {
+    cfg;
+    policy;
+    pool = initial_servers;
+    acct_t = 0.0;
+    acc = 0.0;
+    last_action = neg_infinity;
+    win_margin_sum = 0.0;
+    win_margin_n = 0;
+    win_arrivals = 0;
+    ups = 0;
+    downs = 0;
+    peak = initial_servers;
+    low = initial_servers;
+    decisions = 0;
+    events_rev = [];
+  }
+
+let account c ~now =
+  if now > c.acct_t then begin
+    c.acc <- c.acc +. ((now -. c.acct_t) *. Float.of_int c.pool);
+    c.acct_t <- now
+  end
+
+(* Wire as [Sim.run]'s [on_dispatch]: accumulates the window's
+   idle-server margin evidence. *)
+let on_dispatch c ~now q d =
+  c.win_arrivals <- c.win_arrivals + 1;
+  match Capacity.margin ~now q d with
+  | Some m ->
+    c.win_margin_sum <- c.win_margin_sum +. m;
+    c.win_margin_n <- c.win_margin_n + 1
+  | None -> ()
+
+(* Wire as (part of) [Sim.run]'s [on_server_event]: tracks pool
+   membership for the cost integral. Scale-ups are charged from the
+   moment the server is requested (boot time is paid for), drains
+   until the server actually leaves. *)
+let on_server_event c ~sid:_ ~now ev =
+  match ev with
+  | Sim.Scaled_up ->
+    account c ~now;
+    c.pool <- c.pool + 1;
+    if c.pool > c.peak then c.peak <- c.pool
+  | Sim.Retired ->
+    account c ~now;
+    c.pool <- c.pool - 1;
+    if c.pool < c.low then c.low <- c.pool
+  | Sim.Started _ | Sim.Enqueued _ | Sim.Finished _ | Sim.Dropped _
+  | Sim.Draining ->
+    ()
+
+let observe c sim =
+  let now = Sim.now sim in
+  let m = Sim.n_servers sim in
+  let queue = ref 0 and backlog = ref 0.0 and accepting = ref 0 in
+  for sid = 0 to m - 1 do
+    let s = Sim.server sim sid in
+    if Sim.server_state sim sid <> Sim.Retired then begin
+      queue := !queue + Sim.buffer_length s;
+      backlog := !backlog +. Sim.est_work_left sim s
+    end;
+    if Sim.dispatchable sim sid then incr accepting
+  done;
+  let margin =
+    if c.win_margin_n = 0 then 0.0
+    else c.win_margin_sum /. Float.of_int c.win_margin_n
+  in
+  let removal =
+    if c.pool <= c.cfg.min_servers then infinity
+    else match cheapest_removal sim with Some (_, cost) -> cost | None -> infinity
+  in
+  {
+    now;
+    pool = c.pool;
+    accepting = !accepting;
+    queue_len = !queue;
+    backlog = !backlog;
+    arrivals = c.win_arrivals;
+    margin_per_query = margin;
+    removal_cost = removal;
+    cfg = c.cfg;
+  }
+
+(* One decision: build the observation, ask the policy, clamp to the
+   configured bounds and cooldown, apply through the Sim pool API.
+   Wire as [Sim.run]'s ticker body. *)
+let tick c sim =
+  let now = Sim.now sim in
+  account c ~now;
+  c.decisions <- c.decisions + 1;
+  let cfg = c.cfg in
+  let obs = observe c sim in
+  (* The cooldown throttles shrinking only: a scale-up must stay
+     reactive (a diurnal ramp adds a server's worth of demand every
+     couple of intervals), while a scale-down right after any action
+     is the flapping the cooldown exists to damp. *)
+  let proposed =
+    match c.policy.decide obs with
+    | Scale_down _ when now -. c.last_action < cfg.cooldown -> Hold
+    | a -> a
+  in
+  let action =
+    match proposed with
+    | Hold -> Hold
+    | Scale_up k ->
+      let k = min k (cfg.max_servers - c.pool) in
+      if k > 0 then Scale_up k else Hold
+    | Scale_down k ->
+      let k = min k (c.pool - cfg.min_servers) in
+      (* never drain the last accepting server *)
+      let k = min k (obs.accepting - 1) in
+      if k > 0 then Scale_down k else Hold
+  in
+  (match action with
+  | Hold -> ()
+  | Scale_up k ->
+    for _ = 1 to k do
+      ignore (Sim.add_server ~boot_delay:cfg.boot_delay sim)
+    done;
+    c.ups <- c.ups + k;
+    c.last_action <- now;
+    c.events_rev <- (now, action) :: c.events_rev
+  | Scale_down k ->
+    let retired = ref 0 in
+    for _ = 1 to k do
+      match cheapest_removal sim with
+      | Some (sid, _) ->
+        Sim.retire_server sim sid;
+        incr retired
+      | None -> ()
+    done;
+    if !retired > 0 then begin
+      c.downs <- c.downs + !retired;
+      c.last_action <- now;
+      c.events_rev <- (now, Scale_down !retired) :: c.events_rev
+    end);
+  (* fresh evidence window *)
+  c.win_margin_sum <- 0.0;
+  c.win_margin_n <- 0;
+  c.win_arrivals <- 0
+
+(* Close the cost integral at the simulation's last event. *)
+let finalize c ~now = account c ~now
+
+let summary c =
+  {
+    server_time = c.acc;
+    cost = c.acc /. c.cfg.interval *. c.cfg.cost_per_interval;
+    scale_ups = c.ups;
+    scale_downs = c.downs;
+    peak_pool = c.peak;
+    min_pool = c.low;
+    decisions = c.decisions;
+    events = List.rev c.events_rev;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* One-call harness: incremental FCFS SLA-tree scheduling and
+   dispatching (the O(1) fast path, whose [est_delta] feeds the margin
+   probe), the controller on the ticker, the drop policy of footnote 2
+   unless overridden. *)
+
+let run ?(policy = sla_tree_policy) ?drop_policy ~config:cfg ~queries
+    ~n_servers ~warmup_id () =
+  let c = create cfg policy ~initial_servers:n_servers in
+  let metrics = Metrics.create ~warmup_id in
+  let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
+  let dispatch = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()) in
+  let last_event = ref 0.0 in
+  let on_server_event ~sid ~now ev =
+    if now > !last_event then last_event := now;
+    on_server_event c ~sid ~now ev;
+    match hook with Some h -> h ~sid ~now ev | None -> ()
+  in
+  Sim.run ?drop_policy
+    ~on_dispatch:(fun ~now q d -> on_dispatch c ~now q d)
+    ~on_server_event
+    ~ticker:(cfg.interval, tick c)
+    ~queries ~n_servers ~pick_next ~dispatch ~metrics ();
+  finalize c ~now:!last_event;
+  (metrics, summary c)
+
+let pp_action ppf = function
+  | Scale_up k -> Fmt.pf ppf "+%d" k
+  | Scale_down k -> Fmt.pf ppf "-%d" k
+  | Hold -> Fmt.pf ppf "hold"
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "server_time=%.0f cost=%.2f ups=%d downs=%d pool=[%d..%d] decisions=%d"
+    s.server_time s.cost s.scale_ups s.scale_downs s.min_pool s.peak_pool
+    s.decisions

@@ -1,0 +1,138 @@
+(** Elastic server pool: SLA-tree-driven online autoscaling.
+
+    A controller wakes every [interval] ms of simulated time, weighs
+    the decision window's evidence against a $/server-interval price,
+    and grows or shrinks the simulator's pool through
+    {!Sim.add_server} / {!Sim.retire_server} (drain protocol).
+
+    Two SLA-tree what-if probes feed the decisions: the fictitious
+    idle-server margin [g0 - gi] (the {!Capacity.margin} probe,
+    accumulated per window) answers "what would one more server have
+    earned?", and the removal probe {!removal_cost} answers "what does
+    retiring server s destroy?". Policies are pluggable; the
+    controller owns cost accounting, hysteresis, cooldown, pool bounds
+    and boot delay. *)
+
+type config = {
+  interval : float;  (** decision interval, ms *)
+  cost_per_interval : float;  (** $ per server per interval *)
+  boot_delay : float;  (** ms before a new server accepts work *)
+  min_servers : int;
+  max_servers : int;
+  cooldown : float;
+      (** minimum ms after any scale action before a scale-down is
+          allowed; scale-ups are never throttled (demand ramps must be
+          chased, flapping only ever shrinks too early) *)
+  up_factor : float;  (** scale up when window gain > cost * up_factor *)
+  down_factor : float;
+      (** consider scale-down when window gain < cost * down_factor *)
+}
+
+(** Validating constructor. Defaults: no boot delay, no cooldown,
+    [up_factor = 1.0], [down_factor = 0.5]. *)
+val config :
+  ?boot_delay:float ->
+  ?cooldown:float ->
+  ?up_factor:float ->
+  ?down_factor:float ->
+  interval:float ->
+  cost_per_interval:float ->
+  min_servers:int ->
+  max_servers:int ->
+  unit ->
+  config
+
+(** One decision window's evidence plus instantaneous pool state. *)
+type observation = {
+  now : float;
+  pool : int;  (** live servers (booting and draining included) *)
+  accepting : int;  (** servers currently accepting dispatches *)
+  queue_len : int;
+  backlog : float;  (** summed estimated work left, ms *)
+  arrivals : int;  (** dispatches since the last decision *)
+  margin_per_query : float;  (** mean (g0 - gi) over the window *)
+  removal_cost : float;
+      (** cheapest-server removal probe; [infinity] when shrinking is
+          not currently an option *)
+  cfg : config;
+}
+
+type action = Scale_up of int | Scale_down of int | Hold
+
+type policy = { name : string; decide : observation -> action }
+
+val policy_name : policy -> string
+
+(** The SLA-tree policy: scale up when the window's accumulated
+    idle-server margin beats one interval's rent; scale down when the
+    margin is far below the rent and the cheapest server's buffer
+    migrates for less than one interval's rent. *)
+val sla_tree_policy : policy
+
+(** Profit-blind baseline on the average queue length per accepting
+    server. Defaults: [up = 3.0], [down = 0.5]. *)
+val queue_threshold : ?up:float -> ?down:float -> unit -> policy
+
+(** Never scales (fixed pool under the same cost model). *)
+val static : policy
+
+(** "What if server [sid] were removed?": summed profit its buffered
+    queries lose by migrating from their current slots to their best
+    insertion on the remaining pool (clamped at zero per query — the
+    probe measures destruction, and per-query relocations are already
+    optimistic). 0 for an empty buffer. *)
+val removal_cost : Sim.t -> sid:int -> float
+
+(** Cheapest server to retire among those accepting work; [None]
+    unless at least two accept (a drain must leave one). *)
+val cheapest_removal : Sim.t -> (int * float) option
+
+type summary = {
+  server_time : float;  (** integral of pool size over time, ms*servers *)
+  cost : float;  (** [server_time / interval * cost_per_interval] *)
+  scale_ups : int;
+  scale_downs : int;
+  peak_pool : int;
+  min_pool : int;
+  decisions : int;
+  events : (float * action) list;  (** chronological scale actions *)
+}
+
+(** Controller state; wire {!on_dispatch}, {!on_server_event} and
+    {!tick} into [Sim.run] (or use {!run}). *)
+type t
+
+val create : config -> policy -> initial_servers:int -> t
+
+(** Accumulates the window's idle-server margin evidence — wire as
+    [Sim.run]'s [on_dispatch]. *)
+val on_dispatch : t -> now:float -> Query.t -> Sim.decision -> unit
+
+(** Tracks pool membership for the cost integral (boot and drain time
+    are paid for) — compose into [Sim.run]'s [on_server_event]. *)
+val on_server_event : t -> sid:int -> now:float -> Sim.server_event -> unit
+
+(** One decision — wire as [Sim.run]'s ticker body. *)
+val tick : t -> Sim.t -> unit
+
+(** Close the cost integral at the run's last event time. *)
+val finalize : t -> now:float -> unit
+
+val summary : t -> summary
+
+(** One-call harness: incremental FCFS SLA-tree scheduling and
+    dispatching, the controller on the ticker. [n_servers] is the
+    initial pool. Returns the run metrics and the controller summary
+    (net value = [Metrics.total_profit] − [summary.cost]). *)
+val run :
+  ?policy:policy ->
+  ?drop_policy:(now:float -> Query.t -> bool) ->
+  config:config ->
+  queries:Query.t array ->
+  n_servers:int ->
+  warmup_id:int ->
+  unit ->
+  Metrics.t * summary
+
+val pp_action : Format.formatter -> action -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,33 @@
+(** Elasticity experiment: static-small vs static-large vs SLA-tree
+    autoscaler vs queue-threshold baseline on a diurnal workload, all
+    under one $/server-interval cost model. *)
+
+type row = {
+  label : string;
+  initial : int;  (** initial pool size *)
+  profit : float;
+  server_time : float;  (** ms*servers actually provisioned *)
+  cost : float;
+  net : float;  (** profit - cost *)
+  peak : int;
+  low : int;
+  ups : int;
+  downs : int;
+  avg_loss : float;
+  late : float;
+}
+
+(** Run the four configurations on the same trace (programmatic entry
+    point, used by tests and the bench JSON emitter). *)
+val rows : ?kind:Workloads.kind -> scale:Exp_scale.t -> seed:int -> unit -> row list
+
+val pp_row : Format.formatter -> row -> unit
+
+(** Run one policy on the experiment's workload, printing the
+    controller summary and the chronological scale-event log. *)
+val run_policy :
+  Format.formatter -> policy:Elastic.policy -> initial:int -> Exp_scale.t -> unit
+
+(** Print the comparison table for [scale] (single seed:
+    [scale.base_seed]). *)
+val run : Format.formatter -> Exp_scale.t -> unit

@@ -78,6 +78,12 @@ let hook t ~sid ~now ev =
       Incr_sla_tree.pop_head ~actual st.tree
     else st.dirty <- true
   | Sim.Dropped _ -> st.dirty <- true
+  (* Pool membership changes. A fresh server's state was just created
+     by [state] above; a draining server may have had its whole buffer
+     redistributed away without per-query events, so its tree can only
+     be trusted again after a rebuild. *)
+  | Sim.Scaled_up -> ()
+  | Sim.Draining | Sim.Retired -> st.dirty <- true
 
 (* Reconstruct the tree in the order [buffer.(i); buffer \ i]. *)
 let rush st ~now buffer i =

@@ -1,11 +1,19 @@
 (* Event-driven multi-server queueing simulator (paper Sec 2.2, Fig 4).
 
-   Queries arrive at a central dispatcher, are assigned to one of [m]
-   servers (each with a single buffer), and a per-server scheduler
-   picks the next buffered query whenever the server goes idle.
+   Queries arrive at a central dispatcher, are assigned to one of the
+   pool's servers (each with a single buffer), and a per-server
+   scheduler picks the next buffered query whenever the server goes
+   idle.
 
    Decision makers (dispatcher, scheduler) see estimated execution
    times; the server is busy for the *actual* execution time.
+
+   The pool is dynamic: servers can be added mid-run ([add_server],
+   optionally with a boot delay before they accept work) and retired
+   through a drain protocol ([retire_server]: the server stops
+   receiving dispatches, its buffer is either redistributed through
+   the dispatcher or drained in place, and it leaves the pool once its
+   last query completes). Server ids are never reused.
 
    Hot-path notes: buffers are array-backed FIFO deques (O(1) append,
    O(1) length) and each server carries [est_backlog], the sum of
@@ -21,6 +29,13 @@ type running = {
   est_finish : float;  (** what decision makers believe *)
 }
 
+(* Pool-membership life cycle. [Booting until] servers count as pool
+   members (they cost money) but accept no work before [until];
+   [Draining] servers accept no new work and leave the pool
+   ([Retired]) once their running query and any un-redistributed
+   buffer are gone. *)
+type server_state = Booting of float | Active | Draining | Retired
+
 type server = {
   sid : int;
   speed : float;  (** processing rate; execution takes size/speed *)
@@ -28,25 +43,36 @@ type server = {
   buffer : Query.t Deque.t;  (** arrival order, oldest first *)
   mutable est_backlog : float;
       (** sum of [est_size] over the buffer (raw, not speed-scaled) *)
+  mutable state : server_state;
 }
 
 (* Per-server life-cycle notifications, consumed by incremental
    scheduler state (one live Incr_sla_tree per server). Within one
    completion the order is: Finished, Dropped*, [pick_next], Started;
-   an arrival emits Enqueued (busy server) or Started (idle server). *)
+   an arrival emits Enqueued (busy server) or Started (idle server).
+   Pool membership changes emit Scaled_up (server added), Draining
+   (retirement initiated; a redistributed buffer re-enters through the
+   dispatcher, emitting fresh Enqueued/Started events on the targets)
+   and Retired (the server left the pool for good). *)
 type server_event =
   | Started of Query.t
   | Enqueued of Query.t
   | Finished of { query : Query.t; actual : float }
   | Dropped of Query.t
+  | Scaled_up
+  | Draining
+  | Retired
 
 type t = {
-  servers : server array;
+  mutable servers : server array;
   mutable now : float;
   mutable next_arrival : int;
   queries : Query.t array;
   completions : (float * int) Heap.t;  (** (time, server) *)
   mutable on_event : (sid:int -> now:float -> server_event -> unit) option;
+  mutable arrive : (Query.t -> unit) option;
+      (** the full arrival path (dispatch + metrics + observers), set
+          by [run]; re-entered when a drain redistributes a buffer *)
 }
 
 (* [pick_next ~now buffer] returns the index (into the arrival-ordered
@@ -67,6 +93,32 @@ let buffer_length s = Deque.length s.buffer
 
 let emit t s ev =
   match t.on_event with None -> () | Some f -> f ~sid:s.sid ~now:t.now ev
+
+(* Whether the server currently accepts dispatches. Booting servers
+   whose boot delay has elapsed are promoted to [Active] lazily. *)
+let dispatchable_server t s =
+  match s.state with
+  | Active -> true
+  | Booting ready when ready <= t.now ->
+    s.state <- Active;
+    true
+  | Booting _ | Draining | Retired -> false
+
+let dispatchable t sid = dispatchable_server t t.servers.(sid)
+
+let server_state t sid = t.servers.(sid).state
+
+(* Pool members: everything not yet retired (booting and draining
+   servers still occupy — and cost — a machine). *)
+let live_servers t =
+  Array.fold_left
+    (fun n s -> if s.state = Retired then n else n + 1)
+    0 t.servers
+
+let dispatchable_count t =
+  let n = ref 0 in
+  Array.iter (fun s -> if dispatchable_server t s then incr n) t.servers;
+  !n
 
 (* Estimated time at which the server finishes its current query (now
    when idle; never in the past, even if the estimate undershot). *)
@@ -112,6 +164,8 @@ let start_query t s q =
   emit t s (Started q)
 
 let dispatch_to t s q =
+  if not (dispatchable_server t s) then
+    invalid_arg "Sim.dispatch_to: server is not accepting work";
   match s.running with
   | None ->
     assert (Deque.is_empty s.buffer);
@@ -120,6 +174,73 @@ let dispatch_to t s q =
     Deque.push_back s.buffer q;
     backlog_add s q;
     emit t s (Enqueued q)
+
+let make_server ~sid ~speed ~state =
+  {
+    sid;
+    speed;
+    running = None;
+    buffer = Deque.create ();
+    est_backlog = 0.0;
+    state;
+  }
+
+(* Grow the pool by one server. With [boot_delay], the newcomer joins
+   the pool immediately (Scaled_up) but accepts no dispatches before
+   [now + boot_delay]. Rare operation — the O(pool) array copy is
+   irrelevant next to the event loop. *)
+let add_server ?(speed = 1.0) ?(boot_delay = 0.0) t =
+  if speed <= 0.0 then invalid_arg "Sim.add_server: speed must be positive";
+  if boot_delay < 0.0 then
+    invalid_arg "Sim.add_server: boot_delay must be non-negative";
+  let sid = Array.length t.servers in
+  let state =
+    if boot_delay > 0.0 then Booting (t.now +. boot_delay) else Active
+  in
+  let s = make_server ~sid ~speed ~state in
+  t.servers <- Array.append t.servers [| s |];
+  emit t s Scaled_up;
+  sid
+
+(* Initiate the drain protocol. The server immediately stops receiving
+   dispatches; with [redistribute] (default) its buffered queries
+   re-enter the dispatcher and land on the remaining pool, otherwise
+   the server works its own buffer off. It becomes [Retired] — and
+   emits the event — as soon as it holds no work. Idempotent on
+   already-draining/retired servers. *)
+let retire_server ?(redistribute = true) t sid =
+  if sid < 0 || sid >= Array.length t.servers then
+    invalid_arg "Sim.retire_server: no such server";
+  let s = t.servers.(sid) in
+  match s.state with
+  | Retired | Draining -> ()
+  | Booting _ ->
+    (* Never accepted work; nothing to drain. *)
+    s.state <- Retired;
+    emit t s Retired
+  | Active ->
+    let others_accept =
+      Array.exists
+        (fun o -> o.sid <> sid && dispatchable_server t o)
+        t.servers
+    in
+    if not others_accept then
+      invalid_arg "Sim.retire_server: retiring would empty the pool";
+    s.state <- Draining;
+    emit t s Draining;
+    if redistribute && not (Deque.is_empty s.buffer) then begin
+      let orphans = Deque.to_array s.buffer in
+      Deque.clear s.buffer;
+      s.est_backlog <- 0.0;
+      match t.arrive with
+      | Some arrive -> Array.iter arrive orphans
+      | None ->
+        invalid_arg "Sim.retire_server: redistribution requires a running loop"
+    end;
+    if s.running = None && Deque.is_empty s.buffer then begin
+      s.state <- Retired;
+      emit t s Retired
+    end
 
 let create ?speeds ~queries ~n_servers () =
   if n_servers <= 0 then invalid_arg "Sim.create: n_servers must be positive";
@@ -137,13 +258,7 @@ let create ?speeds ~queries ~n_servers () =
   {
     servers =
       Array.init n_servers (fun sid ->
-          {
-            sid;
-            speed = speed_of sid;
-            running = None;
-            buffer = Deque.create ();
-            est_backlog = 0.0;
-          });
+          make_server ~sid ~speed:(speed_of sid) ~state:Active);
     now = 0.0;
     next_arrival = 0;
     queries;
@@ -152,10 +267,11 @@ let create ?speeds ~queries ~n_servers () =
           let c = Float.compare ta tb in
           if c <> 0 then c else Int.compare sa sb);
     on_event = None;
+    arrive = None;
   }
 
-let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ~queries
-    ~n_servers ~pick_next ~dispatch ~metrics () =
+let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
+    ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
   let t = create ?speeds ~queries ~n_servers () in
   t.on_event <- on_server_event;
   let total = Array.length queries in
@@ -190,6 +306,8 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ~queries
       apply_drop_policy s;
       let n = Deque.length s.buffer in
       if n > 0 then begin
+        (* A draining server without redistribution keeps scheduling
+           its own leftover buffer until it is empty. *)
         let arr = Deque.to_array s.buffer in
         let idx = pick_next ~now:t.now arr in
         if idx < 0 || idx >= n then
@@ -198,6 +316,10 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ~queries
         backlog_remove s q;
         start_query t s q
       end
+      else if s.state = Draining then begin
+        s.state <- Retired;
+        emit t s Retired
+      end
   in
   let arrive q =
     let d = dispatch t q in
@@ -205,32 +327,62 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ~queries
     match d.target with
     | None -> Metrics.record_rejected metrics q
     | Some sid ->
-      if sid < 0 || sid >= n_servers then
+      if sid < 0 || sid >= Array.length t.servers then
         invalid_arg "Sim.run: dispatcher returned an invalid server";
       dispatch_to t t.servers.(sid) q
+  in
+  t.arrive <- Some arrive;
+  (* Optional periodic hook (elastic controllers plug in here): fires
+     at every multiple of the interval that precedes a remaining
+     arrival or completion, so the clock never outlives the workload. *)
+  let tick =
+    match ticker with
+    | None -> None
+    | Some (interval, f) ->
+      if interval <= 0.0 then
+        invalid_arg "Sim.run: ticker interval must be positive";
+      Some (ref interval, interval, f)
   in
   let rec loop () =
     let next_completion = Heap.peek t.completions in
     let next_arrival =
       if t.next_arrival < total then Some queries.(t.next_arrival) else None
     in
-    match (next_completion, next_arrival) with
-    | None, None -> ()
-    | Some (tc, _), Some qa when tc <= qa.Query.arrival ->
-      let tc, sid = Heap.pop_exn t.completions in
-      t.now <- tc;
-      finish_one t.servers.(sid);
-      loop ()
-    | Some _, Some qa | None, Some qa ->
-      t.next_arrival <- t.next_arrival + 1;
-      t.now <- qa.Query.arrival;
-      arrive qa;
-      loop ()
-    | Some (tc, _), None ->
-      ignore tc;
-      let tc, sid = Heap.pop_exn t.completions in
-      t.now <- tc;
-      finish_one t.servers.(sid);
-      loop ()
+    let next_event =
+      match (next_completion, next_arrival) with
+      | None, None -> None
+      | Some (tc, _), None -> Some tc
+      | None, Some qa -> Some qa.Query.arrival
+      | Some (tc, _), Some qa -> Some (Float.min tc qa.Query.arrival)
+    in
+    match next_event with
+    | None -> ()
+    | Some te -> begin
+      match tick with
+      | Some (next_tick, interval, f) when !next_tick <= te ->
+        t.now <- !next_tick;
+        next_tick := !next_tick +. interval;
+        f t;
+        loop ()
+      | _ -> begin
+        match (next_completion, next_arrival) with
+        | Some (tc, _), Some qa when tc <= qa.Query.arrival ->
+          let tc, sid = Heap.pop_exn t.completions in
+          t.now <- tc;
+          finish_one t.servers.(sid);
+          loop ()
+        | Some _, Some qa | None, Some qa ->
+          t.next_arrival <- t.next_arrival + 1;
+          t.now <- qa.Query.arrival;
+          arrive qa;
+          loop ()
+        | Some _, None ->
+          let tc, sid = Heap.pop_exn t.completions in
+          t.now <- tc;
+          finish_one t.servers.(sid);
+          loop ()
+        | None, None -> ()
+      end
+    end
   in
   loop ()

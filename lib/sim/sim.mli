@@ -1,9 +1,15 @@
-(** Event-driven multi-server queueing simulator (paper Fig 4).
+(** Event-driven multi-server queueing simulator (paper Fig 4) over a
+    dynamic server pool.
 
     Queries arrive at a central dispatcher; each server has a single
     buffer and a scheduler that picks the next query when the server
     idles. Decision makers see estimated execution times; servers are
     occupied for the actual ones.
+
+    The pool is elastic: {!add_server} grows it mid-run (optionally
+    after a boot delay) and {!retire_server} shrinks it through a
+    drain protocol. Server ids are never reused; dispatchers must only
+    target servers for which {!dispatchable} holds.
 
     Buffers are array-backed FIFO deques and every server maintains
     its estimated backlog incrementally, so dispatch-time probes
@@ -16,6 +22,11 @@ type running = {
   est_finish : float;
 }
 
+(** Pool-membership life cycle: [Booting until] servers are pool
+    members but accept no work before [until]; [Draining] servers
+    accept no new work and become [Retired] once they hold none. *)
+type server_state = Booting of float | Active | Draining | Retired
+
 type server = {
   sid : int;
   speed : float;  (** processing rate; execution takes size/speed *)
@@ -23,6 +34,7 @@ type server = {
   buffer : Query.t Deque.t;  (** arrival order, oldest first *)
   mutable est_backlog : float;
       (** sum of buffered [est_size] (raw, not speed-scaled) *)
+  mutable state : server_state;
 }
 
 (** Per-server life-cycle notifications (consumed by incremental
@@ -30,13 +42,20 @@ type server = {
     Within one completion the order is: [Finished], zero or more
     [Dropped], the [pick_next] call, then [Started] for the chosen
     query. An arrival emits [Enqueued] (busy server) or [Started]
-    (idle server, which begins executing immediately). *)
+    (idle server, which begins executing immediately). Pool changes
+    emit [Scaled_up] when a server joins, [Draining] when retirement
+    begins (a redistributed buffer re-enters through the dispatcher,
+    emitting fresh [Enqueued]/[Started] on the targets) and [Retired]
+    when the server leaves for good. *)
 type server_event =
   | Started of Query.t
   | Enqueued of Query.t
   | Finished of { query : Query.t; actual : float }
       (** [actual] is the wall-clock execution duration *)
   | Dropped of Query.t
+  | Scaled_up
+  | Draining
+  | Retired
 
 type t
 
@@ -46,17 +65,46 @@ type pick_next = now:float -> Query.t array -> int
 
 (** A dispatch decision: [target = None] rejects the query
     (admission control); [est_delta] optionally reports the estimated
-    profit delta of the chosen server (consumed by capacity
-    planning). *)
+    profit delta of the chosen server (consumed by capacity planning
+    and the elastic controller). *)
 type decision = { target : int option; est_delta : float option }
 
 type dispatch = t -> Query.t -> decision
 
+(** Total servers ever in the pool (retired ones included — ids index
+    into this range). *)
 val n_servers : t -> int
+
 val server : t -> int -> server
 val now : t -> float
 val buffer_array : server -> Query.t array
 val buffer_length : server -> int
+
+(** Whether server [sid] currently accepts dispatches ([Active], or
+    [Booting] whose delay has elapsed — checking promotes it). *)
+val dispatchable : t -> int -> bool
+
+val server_state : t -> int -> server_state
+
+(** Pool members: servers not yet retired (booting and draining
+    included — they still occupy machines). *)
+val live_servers : t -> int
+
+val dispatchable_count : t -> int
+
+(** Grow the pool by one server mid-run; returns its id. With
+    [boot_delay], the server joins (and emits [Scaled_up]) now but
+    accepts no dispatches before [now + boot_delay]. *)
+val add_server : ?speed:float -> ?boot_delay:float -> t -> int
+
+(** Start the drain protocol on server [sid]: it immediately stops
+    receiving dispatches; with [redistribute] (default [true]) its
+    buffered queries re-enter the dispatcher, otherwise it works its
+    own buffer off. Emits [Draining] now and [Retired] once the server
+    holds no work (immediately when idle). Idempotent on draining or
+    retired servers. Raises [Invalid_argument] if no other server
+    would accept work. *)
+val retire_server : ?redistribute:bool -> t -> int -> unit
 
 (** Estimated time the server finishes its current query (now if
     idle). *)
@@ -72,21 +120,26 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
 
 (** [run ~queries ~n_servers ~pick_next ~dispatch ~metrics ()] replays
     the arrival-sorted [queries] to completion. [on_dispatch] observes
-    every dispatch decision (capacity planning hooks in here);
-    [on_complete] observes every completion (per-class breakdowns hook
-    in here). [on_server_event] observes the per-server buffer life
-    cycle (incremental scheduler state hooks in here — see
-    {!Schedulers.instantiate}). [speeds] makes the farm heterogeneous
-    (Sec 6.2's claim): one positive rate per server, execution takes
-    [size/speed]. [drop_policy ~now q = true] abandons buffered query
-    [q] at a scheduling point instead of ever executing it (paper
-    footnote 2's alternative; the query keeps its penalty). *)
+    every dispatch decision (capacity planning and the elastic
+    controller hook in here); [on_complete] observes every completion
+    (per-class breakdowns hook in here). [on_server_event] observes the
+    per-server buffer life cycle (incremental scheduler state hooks in
+    here — see {!Schedulers.instantiate}). [speeds] makes the initial
+    farm heterogeneous (Sec 6.2's claim): one positive rate per server,
+    execution takes [size/speed]. [drop_policy ~now q = true] abandons
+    buffered query [q] at a scheduling point instead of ever executing
+    it (paper footnote 2's alternative; the query keeps its penalty).
+    [ticker = (interval, f)] invokes [f] at every multiple of
+    [interval] that precedes a remaining arrival or completion —
+    elastic controllers call {!add_server}/{!retire_server} from
+    there. [n_servers] is the initial pool size. *)
 val run :
   ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
   ?on_complete:(Query.t -> completion:float -> unit) ->
   ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->
   ?speeds:float array ->
   ?drop_policy:(now:float -> Query.t -> bool) ->
+  ?ticker:float * (t -> unit) ->
   queries:Query.t array ->
   n_servers:int ->
   pick_next:pick_next ->

@@ -1,0 +1,95 @@
+(* Bursty and diurnal arrivals: a piecewise-constant Poisson rate
+   schedule (the workload shape of the elasticity literature — Kllapi
+   et al., WiSeDB — that the paper's constant-rate evaluation never
+   exercises).
+
+   A [phase] holds the system for [duration] ms at [rho] times the
+   trace config's base load; the schedule cycles until the requested
+   query count is reached. Within a phase arrivals are Poisson at
+   rate = load * rho * servers / mean_size; at a phase boundary the
+   pending inter-arrival draw is discarded and restarted, which is
+   exact for Poisson processes (memorylessness) and keeps the
+   generator deterministic in the seed. *)
+
+type phase = { duration : float; rho : float }
+
+let validate phases =
+  if Array.length phases = 0 then invalid_arg "Bursty: empty schedule";
+  Array.iter
+    (fun p ->
+      if p.duration <= 0.0 then
+        invalid_arg "Bursty: phase durations must be positive";
+      if p.rho < 0.0 then invalid_arg "Bursty: phase loads must be non-negative")
+    phases;
+  if not (Array.exists (fun p -> p.rho > 0.0) phases) then
+    invalid_arg "Bursty: at least one phase must have positive load"
+
+let period phases = Array.fold_left (fun acc p -> acc +. p.duration) 0.0 phases
+
+(* Mean load multiplier over one cycle (duration-weighted). *)
+let mean_rho phases =
+  Array.fold_left (fun acc p -> acc +. (p.duration *. p.rho)) 0.0 phases
+  /. period phases
+
+(* A smooth day: [steps] piecewise-constant segments of one [period],
+   tracing a raised cosine from [low] (start and end of the cycle) up
+   to [high] (mid-cycle). *)
+let diurnal ?(steps = 8) ~period ~low ~high () =
+  if steps < 2 then invalid_arg "Bursty.diurnal: steps must be >= 2";
+  if period <= 0.0 then invalid_arg "Bursty.diurnal: period must be positive";
+  if low < 0.0 || high < low then
+    invalid_arg "Bursty.diurnal: need 0 <= low <= high";
+  let pi = 4.0 *. atan 1.0 in
+  Array.init steps (fun i ->
+      let frac = (Float.of_int i +. 0.5) /. Float.of_int steps in
+      let rho =
+        low +. ((high -. low) *. 0.5 *. (1.0 -. cos (2.0 *. pi *. frac)))
+      in
+      { duration = period /. Float.of_int steps; rho })
+
+(* On/off bursts: quiet at [low] for [(1-duty)*period], then a burst
+   at [high] for [duty*period]. *)
+let square ~period ~duty ~low ~high =
+  if period <= 0.0 then invalid_arg "Bursty.square: period must be positive";
+  if duty <= 0.0 || duty >= 1.0 then
+    invalid_arg "Bursty.square: duty must be in (0, 1)";
+  if low < 0.0 || high < low then
+    invalid_arg "Bursty.square: need 0 <= low <= high";
+  [|
+    { duration = period *. (1.0 -. duty); rho = low };
+    { duration = period *. duty; rho = high };
+  |]
+
+let generate (cfg : Trace.config) phases =
+  validate phases;
+  Trace.materialize cfg ~arrival_times:(fun ~mean_size rng ->
+      let n = cfg.n_queries in
+      let arrivals = Array.make n 0.0 in
+      let n_phases = Array.length phases in
+      let k = ref 0 in
+      let t = ref 0.0 in
+      let phase_end = ref phases.(0).duration in
+      let next_phase () =
+        t := !phase_end;
+        k := (!k + 1) mod n_phases;
+        phase_end := !phase_end +. phases.(!k).duration
+      in
+      let i = ref 0 in
+      while !i < n do
+        let rate =
+          cfg.Trace.load *. phases.(!k).rho
+          *. Float.of_int cfg.Trace.servers
+          /. mean_size
+        in
+        if rate <= 0.0 then next_phase ()
+        else begin
+          let dt = Prng.exponential rng ~mean:(1.0 /. rate) in
+          if !t +. dt <= !phase_end then begin
+            t := !t +. dt;
+            arrivals.(!i) <- !t;
+            incr i
+          end
+          else next_phase ()
+        end
+      done;
+      arrivals)

@@ -1,0 +1,32 @@
+(** Bursty/diurnal arrivals: a piecewise-constant Poisson rate
+    schedule cycling over the trace, for elasticity experiments (and
+    any workload whose intensity moves while the system runs).
+
+    Sizes, SLAs and estimation errors are drawn exactly as
+    {!Trace.generate} draws them; only the arrival instants differ.
+    Deterministic in [cfg.seed]. *)
+
+(** Hold the system at [rho] times the config's base load for
+    [duration] ms. *)
+type phase = { duration : float; rho : float }
+
+(** Total duration of one cycle of the schedule. *)
+val period : phase array -> float
+
+(** Duration-weighted mean load multiplier over one cycle. *)
+val mean_rho : phase array -> float
+
+(** A smooth day in [steps] piecewise-constant segments: a raised
+    cosine from [low] (cycle start/end) to [high] (mid-cycle). *)
+val diurnal :
+  ?steps:int -> period:float -> low:float -> high:float -> unit -> phase array
+
+(** On/off bursts: [low] for [(1-duty)*period], then [high] for
+    [duty*period]. *)
+val square : period:float -> duty:float -> low:float -> high:float -> phase array
+
+(** Generate [cfg.n_queries] queries whose arrival process follows the
+    cycling schedule; phase [rho] multiplies [cfg.load]. Raises
+    [Invalid_argument] on empty schedules, non-positive durations, or
+    an all-zero schedule. *)
+val generate : Trace.config -> phase array -> Query.t array

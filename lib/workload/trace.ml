@@ -32,12 +32,18 @@ let config ?(error = Estimate_error.none) ~kind ~profile ~load ~servers
   if n_queries <= 0 then invalid_arg "Trace.config: n_queries must be positive";
   { kind; profile; load; servers; n_queries; error; seed }
 
-(* Generate all queries of a trace. Independent PRNG streams for the
-   arrival process, the size draws, the SLA identities and the
-   estimation errors: changing one knob (e.g. the error sigma) leaves
-   the other draws untouched, which keeps the robustness comparison
-   (Tables 5-6) paired. *)
-let generate cfg =
+(* Generate all queries of a trace around a pluggable arrival process.
+   Independent PRNG streams for the arrival process, the size draws,
+   the SLA identities and the estimation errors: changing one knob
+   (e.g. the error sigma) leaves the other draws untouched, which
+   keeps the robustness comparison (Tables 5-6) paired.
+
+   [arrival_times ~mean_size rng] must return [cfg.n_queries]
+   non-decreasing times; it sees the trace's empirical mean size so it
+   can calibrate its rate the same way the homogeneous process does.
+   This is the extension point non-homogeneous generators (Bursty's
+   piecewise-constant rate schedule) plug into. *)
+let materialize cfg ~arrival_times =
   let master = Prng.create cfg.seed in
   let rng_arrival = Prng.split master in
   let rng_size = Prng.split master in
@@ -57,16 +63,24 @@ let generate cfg =
   let mean_size =
     Arrayx.sum_float sizes /. Float.of_int cfg.n_queries
   in
-  let arrival_rate = cfg.load *. Float.of_int cfg.servers /. mean_size in
-  let mean_interarrival = 1.0 /. arrival_rate in
-  let t = ref 0.0 in
+  let arrivals = arrival_times ~mean_size rng_arrival in
+  if Array.length arrivals <> cfg.n_queries then
+    invalid_arg "Trace.materialize: arrival_times returned the wrong count";
   Array.init cfg.n_queries (fun id ->
-      t := !t +. Prng.exponential rng_arrival ~mean:mean_interarrival;
       let est_size = est_sizes.(id) in
       let sla =
         Workloads.assign_sla cfg.kind cfg.profile ~mu ~size:est_size rng_sla
       in
-      Query.make ~id ~arrival:!t ~size:sizes.(id) ~est_size ~sla ())
+      Query.make ~id ~arrival:arrivals.(id) ~size:sizes.(id) ~est_size ~sla ())
+
+let generate cfg =
+  materialize cfg ~arrival_times:(fun ~mean_size rng ->
+      let arrival_rate = cfg.load *. Float.of_int cfg.servers /. mean_size in
+      let mean_interarrival = 1.0 /. arrival_rate in
+      let t = ref 0.0 in
+      Array.init cfg.n_queries (fun _ ->
+          t := !t +. Prng.exponential rng ~mean:mean_interarrival;
+          !t))
 
 (* Nominal arrival rate (queries/ms) if the workload's nominal mean
    held exactly; the realized rate uses the trace's empirical mean. *)

@@ -34,6 +34,16 @@ val arrival_rate : config -> float
     configuration changes. *)
 val generate : config -> Query.t array
 
+(** Generate a trace around a custom arrival process: sizes, SLAs and
+    estimation errors are drawn exactly as {!generate} draws them (same
+    sub-streams), and [arrival_times ~mean_size rng] supplies the
+    [n_queries] non-decreasing arrival instants. This is the extension
+    point for non-homogeneous processes ({!Bursty}). *)
+val materialize :
+  config ->
+  arrival_times:(mean_size:float -> Prng.t -> float array) ->
+  Query.t array
+
 (** Copy of the config with a different server count (the generated
     trace itself is reused for capacity-planning ground truth). *)
 val with_servers : config -> int -> config

@@ -74,6 +74,34 @@ let test_estimate_tracks_ground_truth () =
     true
     (e >= (gt /. 3.0) -. 0.02 && e <= (gt *. 3.0) +. 0.02)
 
+let test_replay_is_deterministic () =
+  (* Regression for the shared [run_sim] helper: replaying the
+     identical trace twice (estimation path and once more) must
+     produce bit-identical metrics and margin — the simulator holds no
+     hidden state across runs. *)
+  let queries = make_queries ~n:2_000 () in
+  let run () =
+    Capacity.run_with_estimation ~queries ~n_servers:2 ~planner ~scheduler
+      ~warmup_id:1_000
+  in
+  let m1, e1 = run () in
+  let m2, e2 = run () in
+  let exact = Alcotest.(check (float 0.0)) in
+  exact "same margin" e1.Capacity.est_margin_per_query
+    e2.Capacity.est_margin_per_query;
+  check_int "same measured" e1.Capacity.measured e2.Capacity.measured;
+  check_int "same completions" (Metrics.completed_count m1)
+    (Metrics.completed_count m2);
+  exact "same avg loss" (Metrics.avg_loss m1) (Metrics.avg_loss m2);
+  exact "same total profit" (Metrics.total_profit m1) (Metrics.total_profit m2);
+  exact "same p95"
+    (Metrics.response_percentile m1 95.0)
+    (Metrics.response_percentile m2 95.0);
+  (* And the ground-truth path shares the same helper. *)
+  let g1 = Capacity.ground_truth ~queries ~n_servers:2 ~planner ~scheduler ~warmup_id:1_000 in
+  let g2 = Capacity.ground_truth ~queries ~n_servers:2 ~planner ~scheduler ~warmup_id:1_000 in
+  exact "same ground truth" g1 g2
+
 let test_margin_decreases_with_servers () =
   (* More servers at the same system load -> smaller marginal value
      (the Table 4 trend). *)
@@ -96,6 +124,8 @@ let () =
           Alcotest.test_case "runs and measures" `Quick test_estimation_runs_and_measures;
           Alcotest.test_case "margin non-negative" `Quick
             test_estimate_nonnegative_under_load;
+          Alcotest.test_case "replay is deterministic" `Quick
+            test_replay_is_deterministic;
         ] );
       ( "ground-truth",
         [

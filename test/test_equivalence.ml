@@ -23,7 +23,7 @@ let trace ~kind ~sigma2 ~load ~servers ~n_queries ~seed =
    the live incremental tree AND recomputed from scratch; returns
    (decisions, mismatches, state) so callers can also assert on the
    fast/rebuilt counters. *)
-let run_scheduler_both ?drop_policy ~queries ~servers () =
+let run_scheduler_both ?drop_policy ?ticker ~queries ~servers () =
   let st = Incr_sched.create () in
   let rebuild = Schedulers.pick Schedulers.fcfs_sla_tree in
   let decisions = ref 0 and mismatches = ref 0 in
@@ -35,7 +35,7 @@ let run_scheduler_both ?drop_policy ~queries ~servers () =
     a
   in
   let metrics = Metrics.create ~warmup_id:0 in
-  Sim.run ?drop_policy
+  Sim.run ?drop_policy ?ticker
     ~on_server_event:(Incr_sched.hook st)
     ~queries ~n_servers:servers ~pick_next:pick
     ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
@@ -119,7 +119,39 @@ let test_scheduler_end_to_end_metrics_equal () =
 (* ------------------------------------------------------------------ *)
 (* Dispatcher: fcfs_sla_tree_incr vs sla_tree Planner.fcfs. *)
 
-let run_dispatcher_both ?speeds ~admission ~queries ~servers () =
+(* A scripted elasticity scenario for the ?ticker hook: grow the pool
+   twice, then drain two servers (redistributing their buffers), so
+   the incremental state must survive membership changes. *)
+let scale_script () =
+  let n = ref 0 in
+  fun sim ->
+    incr n;
+    match !n with
+    | 4 | 8 -> ignore (Sim.add_server sim)
+    | 12 | 16 ->
+      (* Retire the lowest-sid server still accepting work, keeping at
+         least one accepting. *)
+      if Sim.dispatchable_count sim > 1 then begin
+        let sid = ref (-1) in
+        for i = Sim.n_servers sim - 1 downto 0 do
+          if Sim.dispatchable sim i then sid := i
+        done;
+        if !sid >= 0 then Sim.retire_server sim !sid
+      end
+    | _ -> ()
+
+let test_scheduler_equiv_elastic () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.1 ~servers:3
+      ~n_queries:1_500 ~seed:808
+  in
+  let decisions, mismatches, _ =
+    run_scheduler_both ~ticker:(400.0, scale_script ()) ~queries ~servers:3 ()
+  in
+  check_bool "made decisions" true (decisions > 500);
+  check_int "no pick mismatches across scale events" 0 mismatches
+
+let run_dispatcher_both ?speeds ?ticker ~admission ~queries ~servers () =
   let d_incr = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ~admission ()) in
   let d_tree = Dispatchers.instantiate (Dispatchers.sla_tree ~admission Planner.fcfs) in
   let decisions = ref 0 and mismatches = ref 0 in
@@ -131,7 +163,7 @@ let run_dispatcher_both ?speeds ~admission ~queries ~servers () =
     a
   in
   let metrics = Metrics.create ~warmup_id:0 in
-  Sim.run ?speeds ~queries ~n_servers:servers
+  Sim.run ?speeds ?ticker ~queries ~n_servers:servers
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch ~metrics ();
   (!decisions, !mismatches)
@@ -172,6 +204,21 @@ let test_dispatcher_equiv_admission () =
   in
   check_int "no accept/reject mismatches" 0 mismatches
 
+let test_dispatcher_equiv_elastic () =
+  (* Same scripted scale-up/drain scenario on the dispatcher pair:
+     redistributed buffers arrive as ordinary dispatches and both
+     paths must choose the same target throughout. *)
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.1 ~servers:3
+      ~n_queries:1_500 ~seed:909
+  in
+  let decisions, mismatches =
+    run_dispatcher_both ~ticker:(400.0, scale_script ()) ~admission:false
+      ~queries ~servers:3 ()
+  in
+  check_bool "dispatched (arrivals + redistributions)" true (decisions >= 1_500);
+  check_int "no target mismatches across scale events" 0 mismatches
+
 let prop_dispatcher_equiv_random_seeds =
   QCheck.Test.make ~name:"dispatcher targets equal over random seeds" ~count:8
     QCheck.(pair (int_bound 100_000) bool)
@@ -199,6 +246,7 @@ let () =
             test_scheduler_equiv_with_drops;
           Alcotest.test_case "end-to-end metrics equal" `Quick
             test_scheduler_end_to_end_metrics_equal;
+          Alcotest.test_case "elastic pool" `Quick test_scheduler_equiv_elastic;
           qtest prop_scheduler_equiv_random_seeds;
         ] );
       ( "dispatcher",
@@ -208,6 +256,7 @@ let () =
             test_dispatcher_equiv_pareto_heterogeneous;
           Alcotest.test_case "admission control" `Quick
             test_dispatcher_equiv_admission;
+          Alcotest.test_case "elastic pool" `Quick test_dispatcher_equiv_elastic;
           qtest prop_dispatcher_equiv_random_seeds;
         ] );
     ]

@@ -263,6 +263,70 @@ let test_drop_policy_frees_capacity () =
   check_float "kept profit" (1.0 -. 10.0 +. 0.0) (Metrics.total_profit (run false));
   check_float "dropped profit" (1.0 -. 10.0 +. 1.0) (Metrics.total_profit (run true))
 
+let test_drop_backlog_accounting () =
+  (* Regression: a firing drop policy must leave [est_backlog] equal
+     to the sum of the est_sizes still buffered — checked from inside
+     the dispatcher on every later arrival. *)
+  let hopeless = Sla.make ~levels:[ { bound = 1.0; gain = 1.0 } ] ~penalty:2.0 in
+  let queries =
+    [|
+      mk 0 0.0 10.0;
+      Query.make ~id:1 ~arrival:0.1 ~size:3.0 ~sla:hopeless ();
+      Query.make ~id:2 ~arrival:0.2 ~size:4.0 ~sla:hopeless ();
+      mk 3 0.3 2.0;
+      mk 4 11.0 1.0;
+      mk 5 12.5 1.0;
+    |]
+  in
+  let checks = ref 0 in
+  let dispatch sim _q =
+    let s = Sim.server sim 0 in
+    let sum =
+      Array.fold_left
+        (fun acc q -> acc +. q.Query.est_size)
+        0.0 (Sim.buffer_array s)
+    in
+    check_float "est_backlog = sum of buffered est_size" sum s.Sim.est_backlog;
+    incr checks;
+    { Sim.target = Some 0; est_delta = None }
+  in
+  let m = Metrics.create ~warmup_id:0 in
+  Sim.run ~drop_policy:Sim.drop_past_last_deadline ~queries ~n_servers:1
+    ~pick_next:fcfs_pick ~dispatch ~metrics:m ();
+  (* q1 and q2 are hopeless once q0 monopolizes the server to t=10. *)
+  check_int "both hopeless queries dropped" 2 (Metrics.dropped_count m);
+  check_int "the rest executed" 4 (Metrics.completed_count m);
+  check_int "invariant checked on every arrival" 6 !checks
+
+let test_drop_penalty_in_metrics () =
+  (* Regression: dropped queries still pay their SLA penalty. The
+     run's total profit must equal the sum of [profit_at] over actual
+     completions plus [-penalty] per dropped query. *)
+  let hopeless = Sla.make ~levels:[ { bound = 1.0; gain = 1.0 } ] ~penalty:2.5 in
+  let queries =
+    [|
+      mk 0 0.0 10.0;
+      Query.make ~id:1 ~arrival:0.1 ~size:3.0 ~sla:hopeless ();
+      Query.make ~id:2 ~arrival:0.2 ~size:4.0 ~sla:hopeless ();
+      mk 3 0.3 2.0;
+    |]
+  in
+  let expected = ref 0.0 in
+  let m = Metrics.create ~warmup_id:0 in
+  Sim.run ~drop_policy:Sim.drop_past_last_deadline
+    ~on_complete:(fun q ~completion ->
+      expected := !expected +. Query.profit_at q ~completion)
+    ~on_server_event:(fun ~sid:_ ~now:_ -> function
+      | Sim.Dropped q -> expected := !expected -. Sla.penalty q.Query.sla
+      | _ -> ())
+    ~queries ~n_servers:1 ~pick_next:fcfs_pick ~dispatch:single_dispatch
+    ~metrics:m ();
+  check_int "two dropped" 2 (Metrics.dropped_count m);
+  check_float "penalties flow into total profit" !expected
+    (Metrics.total_profit m);
+  (* And concretely: q0 on time (+1), q3 late (0), two drops (-5). *)
+  check_float "hand-computed total" (1.0 -. 5.0) (Metrics.total_profit m)
+
 let test_heterogeneous_speeds () =
   (* Same query on a 2x server finishes in half the time. *)
   let rr = ref (-1) in
@@ -388,6 +452,10 @@ let () =
           Alcotest.test_case "drop policy" `Quick test_drop_policy;
           Alcotest.test_case "drop frees capacity" `Quick
             test_drop_policy_frees_capacity;
+          Alcotest.test_case "drop backlog accounting" `Quick
+            test_drop_backlog_accounting;
+          Alcotest.test_case "drop penalty in metrics" `Quick
+            test_drop_penalty_in_metrics;
           Alcotest.test_case "heterogeneous speeds" `Quick test_heterogeneous_speeds;
           Alcotest.test_case "heterogeneous work left" `Quick
             test_heterogeneous_work_left;

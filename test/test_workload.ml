@@ -329,6 +329,104 @@ let prop_trace_io_roundtrip =
           && Sla.equal a.Query.sla b.Query.sla)
         queries back)
 
+(* ------------------------------------------------------------------ *)
+(* Bursty/diurnal arrivals *)
+
+let diurnal_phases ?(period = 2_000.0) () =
+  Bursty.diurnal ~period ~low:0.2 ~high:2.0 ()
+
+let test_bursty_deterministic () =
+  let a = Bursty.generate (base_cfg ()) (diurnal_phases ()) in
+  let b = Bursty.generate (base_cfg ()) (diurnal_phases ()) in
+  check_int "same length" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i q ->
+      check_float "same arrival" q.Query.arrival b.(i).Query.arrival;
+      check_float "same size" q.Query.size b.(i).Query.size;
+      check_float "same est" q.Query.est_size b.(i).Query.est_size)
+    a
+
+let test_bursty_seed_sensitivity () =
+  let a = Bursty.generate (base_cfg ~seed:1 ()) (diurnal_phases ()) in
+  let b = Bursty.generate (base_cfg ~seed:2 ()) (diurnal_phases ()) in
+  check_bool "different traces" true
+    (Array.exists2 (fun x y -> x.Query.arrival <> y.Query.arrival) a b)
+
+let test_bursty_well_formed () =
+  let qs = Bursty.generate (base_cfg ()) (diurnal_phases ()) in
+  Array.iteri
+    (fun i q ->
+      check_int "id is index" i q.Query.id;
+      if i > 0 then
+        check_bool "arrivals non-decreasing" true
+          (q.Query.arrival >= qs.(i - 1).Query.arrival))
+    qs
+
+let test_bursty_schedule_shapes () =
+  let d = Bursty.diurnal ~steps:8 ~period:800.0 ~low:0.5 ~high:1.5 () in
+  check_int "eight steps" 8 (Array.length d);
+  check_float "period preserved" 800.0 (Bursty.period d);
+  (* Raised cosine: symmetric about the midpoint, mean (low+high)/2. *)
+  Alcotest.(check (float 1e-6)) "mean rho" 1.0 (Bursty.mean_rho d);
+  Array.iter
+    (fun p ->
+      check_bool "within band" true (p.Bursty.rho >= 0.5 && p.Bursty.rho <= 1.5))
+    d;
+  let s = Bursty.square ~period:100.0 ~duty:0.25 ~low:0.1 ~high:2.0 in
+  check_float "square period" 100.0 (Bursty.period s);
+  Alcotest.(check (float 1e-9))
+    "square mean" ((0.75 *. 0.1) +. (0.25 *. 2.0)) (Bursty.mean_rho s)
+
+let test_bursty_bursts_visible () =
+  (* On/off schedule: the on-phase must be far denser in arrivals per
+     ms than the off-phase. *)
+  let period = 1_000.0 in
+  let phases = Bursty.square ~period ~duty:0.5 ~low:0.25 ~high:4.0 in
+  let qs = Bursty.generate (base_cfg ~n:4_000 ()) phases in
+  let in_low = ref 0 and in_high = ref 0 in
+  Array.iter
+    (fun q ->
+      let pos = Float.rem q.Query.arrival period in
+      if pos < 0.5 *. period then incr in_low else incr in_high)
+    qs;
+  check_bool
+    (Printf.sprintf "on-phase dense (%d low vs %d high)" !in_low !in_high)
+    true
+    (Float.of_int !in_high > 4.0 *. Float.of_int !in_low)
+
+let test_bursty_zero_rho_phase_skipped () =
+  (* A silent phase produces no arrivals but generation still
+     terminates with the full query count. *)
+  let phases =
+    [|
+      { Bursty.duration = 500.0; rho = 2.0 };
+      { Bursty.duration = 500.0; rho = 0.0 };
+    |]
+  in
+  let qs = Bursty.generate (base_cfg ~n:1_000 ()) phases in
+  check_int "full count" 1_000 (Array.length qs);
+  Array.iter
+    (fun q ->
+      check_bool "never inside the silent half" true
+        (Float.rem q.Query.arrival 1_000.0 < 500.0))
+    qs
+
+let test_bursty_invalid () =
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  let cfg = base_cfg () in
+  check_bool "empty schedule" true (raises (fun () -> Bursty.generate cfg [||]));
+  check_bool "non-positive duration" true
+    (raises (fun () ->
+         Bursty.generate cfg [| { Bursty.duration = 0.0; rho = 1.0 } |]));
+  check_bool "negative rho" true
+    (raises (fun () ->
+         Bursty.generate cfg [| { Bursty.duration = 1.0; rho = -0.5 } |]));
+  check_bool "all-silent schedule" true
+    (raises (fun () ->
+         Bursty.generate cfg [| { Bursty.duration = 1.0; rho = 0.0 } |]));
+  check_bool "bad duty" true
+    (raises (fun () -> Bursty.square ~period:10.0 ~duty:1.5 ~low:0.1 ~high:1.0))
+
 let prop_trace_sizes_positive =
   QCheck.Test.make ~name:"generated sizes are positive" ~count:20
     QCheck.(int_range 1 1000)
@@ -387,6 +485,17 @@ let () =
           Alcotest.test_case "invalid configs" `Quick test_trace_invalid;
           Alcotest.test_case "with_servers" `Quick test_with_servers;
           qtest prop_trace_sizes_positive;
+        ] );
+      ( "bursty",
+        [
+          Alcotest.test_case "deterministic" `Quick test_bursty_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_bursty_seed_sensitivity;
+          Alcotest.test_case "well formed" `Quick test_bursty_well_formed;
+          Alcotest.test_case "schedule shapes" `Quick test_bursty_schedule_shapes;
+          Alcotest.test_case "bursts visible" `Quick test_bursty_bursts_visible;
+          Alcotest.test_case "silent phase skipped" `Quick
+            test_bursty_zero_rho_phase_skipped;
+          Alcotest.test_case "invalid schedules" `Quick test_bursty_invalid;
         ] );
       ( "trace-io",
         [
