@@ -168,7 +168,95 @@ let run_sim_throughput scale =
   Fmt.pr "@.";
   rows
 
-(* Part 1c — the elastic scenario: the full four-way autoscaling
+(* Part 1c — observability overhead. After the lib/obs refactor every
+   instrumentation site exists in the one binary, so "observability
+   off" is the noop-sink path, not a separate build: the guard runs
+   the incremental sim.throughput case twice over [Obs.noop] (their
+   delta is pure measurement noise — it bounds what the disabled
+   instrumentation can possibly cost) and once over an enabled sink,
+   whose decision-latency percentiles feed BENCH_sim.json. *)
+
+type obs_bench = {
+  off_ms : float;
+  off_repeat_ms : float;
+  off_delta_pct : float;
+  on_ms : float;
+  on_overhead_pct : float;
+  sched_lat : int * float * float * float;  (* count, p50, p90, p99 ns *)
+  dispatch_lat : int * float * float * float;
+}
+
+let timed_run_obs ~obs ~queries =
+  let best = ref infinity in
+  Gc.compact ();
+  for _ = 1 to 3 do
+    let metrics = Metrics.create ~warmup_id:0 in
+    let pick_next, hook =
+      Schedulers.instantiate ~obs Schedulers.fcfs_sla_tree_incr
+    in
+    let dispatch =
+      Dispatchers.instantiate ~obs (Dispatchers.fcfs_sla_tree_incr ())
+    in
+    let t0 = Sys.time () in
+    Sim.run ~obs ?on_server_event:hook ~queries ~n_servers:1 ~pick_next
+      ~dispatch ~metrics ();
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e3
+
+let lat_summary reg name =
+  let h = Obs.Registry.histogram reg name in
+  ( Obs.Registry.observations h,
+    Obs.Registry.histogram_percentile h 50.0,
+    Obs.Registry.histogram_percentile h 90.0,
+    Obs.Registry.histogram_percentile h 99.0 )
+
+let run_obs_overhead scale =
+  let n =
+    if scale.Exp_scale.n_queries <= Exp_scale.smoke.Exp_scale.n_queries then 700
+    else 2_800
+  in
+  let queries = throughput_case ~n_queries:n in
+  Fmt.pr "=== obs: observability overhead (incremental path, %d queries) ===@."
+    n;
+  let off_ms = timed_run_obs ~obs:Obs.noop ~queries in
+  let off_repeat_ms = timed_run_obs ~obs:Obs.noop ~queries in
+  let obs = Obs.create () in
+  let on_ms = timed_run_obs ~obs ~queries in
+  let off_best = Float.min off_ms off_repeat_ms in
+  let off_delta_pct =
+    Float.abs (off_ms -. off_repeat_ms) /. off_best *. 100.0
+  in
+  let on_overhead_pct = (on_ms -. off_best) /. off_best *. 100.0 in
+  let reg = Obs.registry obs in
+  let sched_lat = lat_summary reg "sched.decision_ns" in
+  let dispatch_lat = lat_summary reg "dispatch.decision_ns" in
+  Fmt.pr "obs off: %.1f ms, off again: %.1f ms — delta %.2f%% (guard: < 2%%)@."
+    off_ms off_repeat_ms off_delta_pct;
+  Fmt.pr "obs on:  %.1f ms — overhead %.2f%% over the best disabled run@."
+    on_ms on_overhead_pct;
+  let pr_lat name (c, p50, p90, p99) =
+    Fmt.pr "%s: %d decisions, p50/p90/p99 = %.0f / %.0f / %.0f ns@." name c p50
+      p90 p99
+  in
+  pr_lat "  sched.decision_ns   " sched_lat;
+  pr_lat "  dispatch.decision_ns" dispatch_lat;
+  if off_delta_pct >= 2.0 then
+    Fmt.pr
+      "  note: disabled-path delta above the 2%% guard — treat as noisy run@.";
+  Fmt.pr "@.";
+  {
+    off_ms;
+    off_repeat_ms;
+    off_delta_pct;
+    on_ms;
+    on_overhead_pct;
+    sched_lat;
+    dispatch_lat;
+  }
+
+(* Part 1d — the elastic scenario: the full four-way autoscaling
    comparison (Exp_elastic), timed end to end. *)
 let run_elastic scale =
   Fmt.pr "=== elastic: autoscaling comparison (%d queries) ===@."
@@ -209,7 +297,7 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_json ~path ~scale ~micro ~throughput ~elastic =
+let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -258,7 +346,30 @@ let emit_json ~path ~scale ~micro ~throughput ~elastic =
            r.Exp_elastic.downs
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  add "    ]\n  }\n}\n";
+  add "    ]\n  },\n";
+  let lat_json name (c, p50, p90, p99) last =
+    add
+      (Printf.sprintf
+         "    \"%s\": {\"count\": %d, \"p50_ns\": %s, \"p90_ns\": %s, \
+          \"p99_ns\": %s}%s\n"
+         name c (json_float p50) (json_float p90) (json_float p99)
+         (if last then "" else ","))
+  in
+  add "  \"obs\": {\n";
+  add (Printf.sprintf "    \"off_ms\": %s,\n" (json_float obs.off_ms));
+  add
+    (Printf.sprintf "    \"off_repeat_ms\": %s,\n"
+       (json_float obs.off_repeat_ms));
+  add
+    (Printf.sprintf "    \"off_delta_pct\": %s,\n"
+       (json_float obs.off_delta_pct));
+  add (Printf.sprintf "    \"on_ms\": %s,\n" (json_float obs.on_ms));
+  add
+    (Printf.sprintf "    \"on_overhead_pct\": %s,\n"
+       (json_float obs.on_overhead_pct));
+  lat_json "sched_decision_ns" obs.sched_lat false;
+  lat_json "dispatch_decision_ns" obs.dispatch_lat true;
+  add "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -276,9 +387,10 @@ let () =
      process in a state (heap shape, GC tuning) that skews wall-clock
      numbers taken afterwards. *)
   let throughput = run_sim_throughput scale in
+  let obs = run_obs_overhead scale in
   let elastic = run_elastic scale in
   let micro = run_micro () in
-  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic;
+  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic ~obs;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

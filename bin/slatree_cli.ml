@@ -100,14 +100,50 @@ let elastic_policy_of_string = function
   | "static" -> Ok Elastic.static
   | s -> Error (Printf.sprintf "unknown policy %S (sla-tree|queue|static)" s)
 
-let run_elastic compare policy servers scale_opt =
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by the sim and elastic subcommands:
+   an enabled sink only when some output file was asked for, and the
+   post-run writers. *)
+
+let obs_of_outputs ~trace ~metrics =
+  if trace = None && metrics = None then Obs.noop else Obs.create ()
+
+let write_obs_outputs obs ~trace ~metrics =
+  (match metrics with
+  | None -> ()
+  | Some path ->
+    Obs.write_metrics obs ~path;
+    Fmt.pf ppf "wrote metrics snapshot to %s@." path);
+  match trace with
+  | None -> ()
+  | Some path ->
+    Obs.write_trace obs ~path;
+    let tr = Obs.trace obs in
+    Fmt.pf ppf "wrote trace (%d events, %d dropped) to %s@."
+      (Obs.Trace.length tr) (Obs.Trace.dropped tr) path
+
+let write_timeseries_output ts ~path =
+  Obs.Timeseries.write ts ~path;
+  Fmt.pf ppf "wrote %d time-series samples to %s@." (Obs.Timeseries.length ts)
+    path
+
+let run_elastic compare policy servers scale_opt trace metrics timeseries =
   let scale = resolve_scale scale_opt in
   print_scale scale;
   if compare then `Ok (Exp_elastic.run ppf scale)
   else
     match elastic_policy_of_string policy with
     | Error e -> `Error (false, e)
-    | Ok policy -> `Ok (Exp_elastic.run_policy ppf ~policy ~initial:servers scale)
+    | Ok policy ->
+      let obs = obs_of_outputs ~trace ~metrics in
+      let ts = Option.map (fun _ -> Elastic.timeseries ()) timeseries in
+      Exp_elastic.run_policy ~obs ?timeseries:ts ppf ~policy ~initial:servers
+        scale;
+      write_obs_outputs obs ~trace ~metrics;
+      (match (ts, timeseries) with
+      | Some ts, Some path -> write_timeseries_output ts ~path
+      | _ -> ());
+      `Ok ()
 
 let run_validate scale_opt =
   let scale = resolve_scale scale_opt in
@@ -255,6 +291,136 @@ let run_trace_replay file scheduler_name dispatcher_name servers warmup =
         Fmt.pf ppf "  rejected        : %d@." (Metrics.rejected_count metrics);
       `Ok ())
 
+(* ------------------------------------------------------------------ *)
+(* One-shot simulation with observability outputs: generate a
+   workload, run it under a chosen scheduler/dispatcher, and write the
+   trace / metrics snapshot / time series that were asked for. *)
+
+let sim_timeseries_columns =
+  [| "pool"; "accepting"; "queue_len"; "backlog"; "cum_profit" |]
+
+let sample_sim ts metrics sim =
+  let m = Sim.n_servers sim in
+  let live = ref 0
+  and queue = ref 0
+  and backlog = ref 0.0
+  and accepting = ref 0 in
+  for sid = 0 to m - 1 do
+    let s = Sim.server sim sid in
+    if Sim.server_state sim sid <> Sim.Retired then begin
+      incr live;
+      queue := !queue + Sim.buffer_length s;
+      backlog := !backlog +. Sim.est_work_left sim s
+    end;
+    if Sim.dispatchable sim sid then incr accepting
+  done;
+  Obs.Timeseries.sample ts ~now:(Sim.now sim)
+    [|
+      Float.of_int !live;
+      Float.of_int !accepting;
+      Float.of_int !queue;
+      !backlog;
+      Metrics.total_profit metrics;
+    |]
+
+let run_sim kind profile load servers n seed sigma2 scheduler_name
+    dispatcher_name warmup trace metrics_out timeseries_out =
+  match (kind_of_string kind, profile_of_string profile) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok kind, Ok profile ->
+    let error =
+      if sigma2 = 0.0 then Estimate_error.none
+      else Estimate_error.gaussian ~sigma2 ()
+    in
+    let cfg =
+      Trace.config ~error ~kind ~profile ~load ~servers ~n_queries:n ~seed ()
+    in
+    let queries = Trace.generate cfg in
+    let mean =
+      Array.fold_left (fun acc q -> acc +. q.Query.est_size) 0.0 queries
+      /. Float.of_int (max 1 (Array.length queries))
+    in
+    let rate = 1.0 /. mean in
+    (match
+       ( scheduler_of_string ~rate scheduler_name,
+         dispatcher_of_string ~rate dispatcher_name )
+     with
+    | Error e, _ | _, Error e -> `Error (false, e)
+    | Ok scheduler, Ok dispatcher ->
+      let obs = obs_of_outputs ~trace ~metrics:metrics_out in
+      let metrics = Metrics.create ~warmup_id:warmup in
+      let pick_next, hook = Schedulers.instantiate ~obs scheduler in
+      let dispatch = Dispatchers.instantiate ~obs dispatcher in
+      (* Sample roughly 200 rows over the arrival span (at least one
+         mean execution time apart, so a degenerate span cannot make
+         the ticker spin). *)
+      let ts_ticker =
+        match timeseries_out with
+        | None -> None
+        | Some _ ->
+          let ts = Obs.Timeseries.create ~columns:sim_timeseries_columns in
+          let span =
+            if n > 0 then queries.(Array.length queries - 1).Query.arrival
+            else 0.0
+          in
+          let interval = Float.max mean (span /. 200.0) in
+          Some (ts, (interval, fun sim -> sample_sim ts metrics sim))
+      in
+      Sim.run ~obs ?on_server_event:hook
+        ?ticker:(Option.map snd ts_ticker)
+        ~queries ~n_servers:servers ~pick_next ~dispatch ~metrics ();
+      Fmt.pf ppf
+        "simulated %d queries (%s/%s, load %.2f; %s / %s, %d server(s), \
+         warm-up %d)@."
+        (Array.length queries)
+        (Workloads.kind_name kind)
+        (Workloads.profile_name profile)
+        load (Schedulers.name scheduler)
+        (Dispatchers.name dispatcher)
+        servers warmup;
+      Fmt.pf ppf "  avg profit loss : $%.4f per query@."
+        (Metrics.avg_loss metrics);
+      Fmt.pf ppf "  avg profit      : $%.4f per query@."
+        (Metrics.avg_profit metrics);
+      Fmt.pf ppf "  deadline misses : %.2f%%@."
+        (100.0 *. Metrics.late_fraction metrics);
+      if Metrics.rejected_count metrics > 0 then
+        Fmt.pf ppf "  rejected        : %d@." (Metrics.rejected_count metrics);
+      write_obs_outputs obs ~trace ~metrics:metrics_out;
+      (match (ts_ticker, timeseries_out) with
+      | Some (ts, _), Some path -> write_timeseries_output ts ~path
+      | _ -> ());
+      `Ok ())
+
+(* The three observability output flags, shared by sim and elastic. *)
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a trace of the run to FILE: Chrome trace-event JSON \
+           (loadable in Perfetto / chrome://tracing), or JSON lines when \
+           FILE ends in .jsonl")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics snapshot (counters, gauges, latency \
+           histogram percentiles) as JSON to FILE")
+
+let timeseries_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Write per-tick pool/backlog/profit samples to FILE (JSON when \
+           FILE ends in .json, CSV otherwise)")
+
 let table_cmd =
   let n =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (2-7)")
@@ -320,7 +486,60 @@ let elastic_cmd =
        ~doc:
          "Autoscale the server pool on a diurnal workload using SLA-tree \
           what-if probes")
-    Term.(ret (const run_elastic $ compare $ policy $ servers $ scale_arg))
+    Term.(
+      ret
+        (const run_elastic $ compare $ policy $ servers $ scale_arg
+       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg))
+
+let sim_cmd =
+  let kind =
+    Arg.(value & opt string "exp" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Workload: exp | pareto | ssbm")
+  in
+  let profile =
+    Arg.(value & opt string "b" & info [ "profile" ] ~docv:"P"
+           ~doc:"SLA profile: a | b")
+  in
+  let load =
+    Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"RHO" ~doc:"System load")
+  in
+  let servers =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+  in
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Query count")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+  in
+  let sigma2 =
+    Arg.(value & opt float 0.0 & info [ "sigma2" ] ~docv:"S2"
+           ~doc:"Estimation error variance (Sec 7.5); 0 = perfect estimates")
+  in
+  let scheduler =
+    Arg.(value & opt string "fcfs+tree-incr" & info [ "scheduler" ] ~docv:"SCHED"
+           ~doc:
+             "fcfs | sjf | edf | value-edf | cbs, each optionally +tree; \
+              fcfs+tree-incr for the incremental SLA-tree fast path")
+  in
+  let dispatcher =
+    Arg.(value & opt string "tree-fcfs" & info [ "dispatcher" ] ~docv:"DISP"
+           ~doc:"rr | lwl | random | tree | tree+ac | tree-fcfs | tree-fcfs+ac")
+  in
+  let warmup =
+    Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"W"
+           ~doc:"Exclude queries with id below this from measurement")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Simulate a generated workload once, with observability outputs \
+          (--trace, --metrics, --timeseries)")
+    Term.(
+      ret
+        (const run_sim $ kind $ profile $ load $ servers $ n $ seed $ sigma2
+       $ scheduler $ dispatcher $ warmup $ trace_file_arg $ metrics_file_arg
+       $ timeseries_file_arg))
 
 let validate_cmd =
   Cmd.v
@@ -397,7 +616,7 @@ let main =
        ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
     [
       table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
-      validate_cmd; trace_cmd;
+      validate_cmd; trace_cmd; sim_cmd;
     ]
 
 let () = exit (Cmd.eval main)

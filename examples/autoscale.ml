@@ -9,11 +9,23 @@
    destroy?" (best re-insertion of its buffer elsewhere) — against a
    $/server-ms rent, then grows the pool or drains a server.
 
-   Run with: dune exec examples/autoscale.exe *)
+   Run with: dune exec examples/autoscale.exe
+   Optionally: --trace FILE (Chrome trace-event JSON of the SLA-tree
+   policy's run, loadable in Perfetto) and --timeseries FILE (per-tick
+   pool/backlog/profit samples, CSV or .json). *)
 
 let n_queries = 6_000
 let base_servers = 4
 let seed = 31415
+
+(* Minimal flag parsing: --trace FILE / --timeseries FILE. *)
+let flag_value name =
+  let argv = Sys.argv in
+  let r = ref None in
+  Array.iteri
+    (fun i a -> if a = name && i + 1 < Array.length argv then r := Some argv.(i + 1))
+    argv;
+  !r
 
 let () =
   let mu = Workloads.nominal_mean_ms Workloads.Exp in
@@ -40,9 +52,16 @@ let () =
   Fmt.pr "Diurnal Exp/SLA-B workload: %d queries over ~%.0f ms (%.0f ms days),@."
     n_queries span period;
   Fmt.pr "rent $%.4f per server-ms, decision every %.0f ms.@.@." 0.0225 interval;
-  let run policy initial =
+  let trace_out = flag_value "--trace" in
+  let ts_out = flag_value "--timeseries" in
+  (* Trace only the SLA-tree policy's run; the per-tick time series is
+     always collected (it also draws the sparkline below). *)
+  let obs = if trace_out = None then Obs.noop else Obs.create () in
+  let ts = Elastic.timeseries () in
+  let run ?(obs = Obs.noop) ?timeseries policy initial =
     let metrics, s =
-      Elastic.run ~policy ~config ~queries ~n_servers:initial ~warmup_id:0 ()
+      Elastic.run ~obs ?timeseries ~policy ~config ~queries ~n_servers:initial
+        ~warmup_id:0 ()
     in
     let profit = Metrics.total_profit metrics in
     Fmt.pr "  %-14s start=%d  profit $%7.0f  rent $%6.0f  net $%7.0f  pool %d..%d@."
@@ -54,32 +73,21 @@ let () =
   in
   let _ = run Elastic.static 4 in
   let _ = run Elastic.static 8 in
-  let s, _ = run Elastic.sla_tree_policy 4 in
+  let s, _ = run ~obs ~timeseries:ts Elastic.sla_tree_policy 4 in
   let _ = run (Elastic.queue_threshold ()) 4 in
   Fmt.pr "@.The SLA-tree controller's day (%d ups, %d downs):@." s.Elastic.scale_ups
     s.Elastic.scale_downs;
-  (* A sparkline of the pool size over the run, one bucket per
-     half-interval. *)
-  let pool = ref 4 and events = ref s.Elastic.events in
+  (* A sparkline of the pool size over the run, read straight off the
+     controller's per-tick time series. *)
   let buckets = 72 in
   let dt = span /. Float.of_int buckets in
   let line = Buffer.create buckets in
   for b = 0 to buckets - 1 do
     let t = Float.of_int b *. dt in
-    let rec apply () =
-      match !events with
-      | (te, a) :: rest when te <= t ->
-        (match a with
-        | Elastic.Scale_up k -> pool := !pool + k
-        | Elastic.Scale_down k -> pool := !pool - k
-        | Elastic.Hold -> ());
-        events := rest;
-        apply ()
-      | _ -> ()
-    in
-    apply ();
+    let v = Obs.Timeseries.value_at ts ~column:"pool" ~now:t in
+    let pool = if Float.is_nan v then 4 else Float.to_int v in
     Buffer.add_string line
-      (match !pool with
+      (match pool with
       | n when n <= 2 -> "▁"
       | 3 -> "▂"
       | 4 -> "▃"
@@ -89,4 +97,16 @@ let () =
       | _ -> "█")
   done;
   Fmt.pr "  pool |%s|@." (Buffer.contents line);
-  Fmt.pr "       (each cell ~%.0f ms; the five humps are the five days)@." dt
+  Fmt.pr "       (each cell ~%.0f ms; the five humps are the five days)@." dt;
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.write_trace obs ~path;
+    let tr = Obs.trace obs in
+    Fmt.pr "wrote trace (%d events, %d dropped) to %s@." (Obs.Trace.length tr)
+      (Obs.Trace.dropped tr) path);
+  match ts_out with
+  | None -> ()
+  | Some path ->
+    Obs.Timeseries.write ts ~path;
+    Fmt.pr "wrote %d time-series samples to %s@." (Obs.Timeseries.length ts) path

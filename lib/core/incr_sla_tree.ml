@@ -41,6 +41,18 @@ type pending_unit = { p_slack : float; p_gain : float }
 (* Planned-timeline slack of one unit of a pending query; negative
    means tardiness. True slack = p_slack - delay, like the trees. *)
 
+(* Observability handles, resolved once per [create] against the run's
+   registry (absent on the noop sink, so the hot paths pay a single
+   option match). Counter names are shared across instances: every
+   tree of a run aggregates into the same series. *)
+type stats = {
+  s_rebuilds : Obs.Registry.counter;
+  s_appends : Obs.Registry.counter;
+  s_pops : Obs.Registry.counter;
+  s_postpones : Obs.Registry.counter;
+  s_expedites : Obs.Registry.counter;
+}
+
 type t = {
   mutable slack_tree : Cascade_tree.t;
   mutable tardy_tree : Cascade_tree.t;
@@ -55,7 +67,11 @@ type t = {
   mutable pending_n : int;
   mutable tail_time : float;  (** planned end of the current schedule *)
   mutable rebuilds : int;
+  stats : stats option;
 }
+
+let bump stats f =
+  match stats with None -> () | Some s -> Obs.Registry.incr (f s)
 
 let live_base t = Array.length t.base_entries - t.head
 let length t = live_base t + t.pending_n
@@ -110,12 +126,27 @@ let rebuild t =
   t.pending_cache <- Some [||];
   t.pending_n <- 0;
   t.tail_time <- tail_time;
-  t.rebuilds <- t.rebuilds + 1
+  t.rebuilds <- t.rebuilds + 1;
+  bump t.stats (fun s -> s.s_rebuilds)
 
-let create ~now queries =
+let create ?(obs = Obs.noop) ~now queries =
   let entries = Schedule.of_queries ~now queries in
   let units = Slack_units.of_schedule entries in
   let pos, neg = Slack_units.partition units in
+  let stats =
+    if not (Obs.enabled obs) then None
+    else begin
+      let reg = Obs.registry obs in
+      Some
+        {
+          s_rebuilds = Obs.Registry.counter reg "sla_tree.rebuilds";
+          s_appends = Obs.Registry.counter reg "sla_tree.appends";
+          s_pops = Obs.Registry.counter reg "sla_tree.pops";
+          s_postpones = Obs.Registry.counter reg "whatif.postpone_calls";
+          s_expedites = Obs.Registry.counter reg "whatif.expedite_calls";
+        }
+    end
+  in
   {
     slack_tree = Cascade_tree.build pos;
     tardy_tree = Cascade_tree.build neg;
@@ -130,6 +161,7 @@ let create ~now queries =
          Schedule.completion entries.(Array.length entries - 1)
        else now);
     rebuilds = 0;
+    stats;
   }
 
 let maybe_rebuild t =
@@ -141,6 +173,7 @@ let maybe_rebuild t =
 
 (* FCFS arrival: the query starts when the current schedule ends. *)
 let append t query =
+  bump t.stats (fun s -> s.s_appends);
   let start = t.tail_time in
   t.pending <- (query, start, units_of_query query ~start) :: t.pending;
   t.pending_cache <- None;
@@ -158,6 +191,7 @@ let rec pop_head ?actual t =
     pop_head ?actual t
   end
   else begin
+    bump t.stats (fun s -> s.s_pops);
     let e = t.base_entries.(t.head) in
     let est = e.Schedule.query.Query.est_size in
     let actual = Option.value actual ~default:est in
@@ -248,6 +282,7 @@ let pending_scan t ~lo ~hi ~f =
   !acc
 
 let postpone t ~m ~n ~tau =
+  bump t.stats (fun s -> s.s_postpones);
   check_range t ~m ~n;
   if tau < 0.0 then invalid_arg "Incr_sla_tree.postpone: negative tau";
   if tau = 0.0 then 0.0
@@ -275,6 +310,7 @@ let postpone t ~m ~n ~tau =
   end
 
 let expedite t ~m ~n ~tau =
+  bump t.stats (fun s -> s.s_expedites);
   check_range t ~m ~n;
   if tau < 0.0 then invalid_arg "Incr_sla_tree.expedite: negative tau";
   if tau = 0.0 then 0.0

@@ -14,8 +14,10 @@
 type t
 
 (** [create ~now queries] builds the structure over the initial buffer
-    (possibly empty), scheduled back-to-back from [now]. *)
-val create : now:float -> Query.t array -> t
+    (possibly empty), scheduled back-to-back from [now]. When [obs] is
+    an enabled sink, counts rebuilds/appends/pops and what-if probe
+    calls into it ([sla_tree.*], [whatif.*]). *)
+val create : ?obs:Obs.t -> now:float -> Query.t array -> t
 
 (** Live queries currently buffered. *)
 val length : t -> int

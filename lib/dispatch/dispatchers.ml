@@ -9,9 +9,28 @@ type t = { name : string; make : unit -> Sim.dispatch }
 
 let name t = t.name
 
+(* Decision-latency wrapper, mirroring [Schedulers.timed]: handles
+   resolved once per instantiation, raw dispatch returned when the
+   sink is disabled. *)
+let timed obs dispatch =
+  if not (Obs.enabled obs) then dispatch
+  else begin
+    let reg = Obs.registry obs in
+    let lat = Obs.Registry.histogram reg "dispatch.decision_ns" in
+    let n = Obs.Registry.counter reg "dispatch.decisions" in
+    let rejected = Obs.Registry.counter reg "dispatch.rejected" in
+    fun sim q ->
+      let t0 = Obs.now_ns () in
+      let d = dispatch sim q in
+      Obs.Registry.observe lat (Int64.to_float (Int64.sub (Obs.now_ns ()) t0));
+      Obs.Registry.incr n;
+      if d.Sim.target = None then Obs.Registry.incr rejected;
+      d
+  end
+
 (* Each run gets a fresh closure so stateful dispatchers (Round-Robin's
    counter) do not leak state across repeats. *)
-let instantiate t = t.make ()
+let instantiate ?(obs = Obs.noop) t = timed obs (t.make ())
 
 (* Constructor for dispatchers defined outside this module (SITA and
    friends). *)

@@ -6,7 +6,12 @@
 type t
 
 val name : t -> string
-val instantiate : t -> Sim.dispatch
+
+(** When [obs] is an enabled sink, the dispatch is wrapped to record
+    per-decision latency ([dispatch.decision_ns] histogram,
+    [dispatch.decisions] / [dispatch.rejected] counters); over the
+    default {!Obs.noop} the raw closure is returned. *)
+val instantiate : ?obs:Obs.t -> t -> Sim.dispatch
 
 (** Constructor for dispatchers defined in other modules. *)
 val v : name:string -> (unit -> Sim.dispatch) -> t

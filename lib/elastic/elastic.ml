@@ -204,9 +204,19 @@ type summary = {
   events : (float * action) list;  (** chronological scale actions *)
 }
 
+(* Pre-resolved observability handles (see Obs's cost discipline). *)
+type ostats = {
+  o_ups : Obs.Registry.counter;
+  o_downs : Obs.Registry.counter;
+  o_decisions : Obs.Registry.counter;
+  o_holds : Obs.Registry.counter;
+}
+
 type t = {
   cfg : config;
   policy : policy;
+  obs : Obs.t;
+  ostats : ostats option;
   mutable pool : int;
   mutable acct_t : float;  (* last cost-accounting instant *)
   mutable acc : float;  (* integral of pool over time *)
@@ -224,12 +234,27 @@ type t = {
   mutable events_rev : (float * action) list;
 }
 
-let create cfg policy ~initial_servers =
+let create ?(obs = Obs.noop) cfg policy ~initial_servers =
   if initial_servers < 1 then
     invalid_arg "Elastic.create: initial_servers must be >= 1";
+  let ostats =
+    if not (Obs.enabled obs) then None
+    else begin
+      let reg = Obs.registry obs in
+      Some
+        {
+          o_ups = Obs.Registry.counter reg "elastic.scale_ups";
+          o_downs = Obs.Registry.counter reg "elastic.scale_downs";
+          o_decisions = Obs.Registry.counter reg "elastic.decisions";
+          o_holds = Obs.Registry.counter reg "elastic.holds";
+        }
+    end
+  in
   {
     cfg;
     policy;
+    obs;
+    ostats;
     pool = initial_servers;
     acct_t = 0.0;
     acc = 0.0;
@@ -311,6 +336,26 @@ let observe c sim =
     cfg = c.cfg;
   }
 
+(* One instant trace event per applied scale action, carrying the
+   probe evidence the decision rested on: the window's idle-server
+   margin (g0 - gi) and the cheapest-removal what-if. Only called when
+   the sink is enabled. *)
+let decision_event c o ~name ~k ~pool_after =
+  Obs.instant c.obs ~cat:"elastic"
+    ~args:
+      [
+        ("k", Obs.Trace.I k);
+        ("sim_t", Obs.Trace.F o.now);
+        ("pool", Obs.Trace.I pool_after);
+        ("arrivals", Obs.Trace.I o.arrivals);
+        ("margin_per_query", Obs.Trace.F o.margin_per_query);
+        ( "window_gain",
+          Obs.Trace.F (o.margin_per_query *. Float.of_int o.arrivals) );
+        ("removal_cost", Obs.Trace.F o.removal_cost);
+        ("rent", Obs.Trace.F c.cfg.cost_per_interval);
+      ]
+    name
+
 (* One decision: build the observation, ask the policy, clamp to the
    configured bounds and cooldown, apply through the Sim pool API.
    Wire as [Sim.run]'s ticker body. *)
@@ -341,15 +386,26 @@ let tick c sim =
       let k = min k (obs.accepting - 1) in
       if k > 0 then Scale_down k else Hold
   in
+  (match c.ostats with
+  | Some s -> Obs.Registry.incr s.o_decisions
+  | None -> ());
   (match action with
-  | Hold -> ()
+  | Hold -> (
+    match c.ostats with
+    | Some s -> Obs.Registry.incr s.o_holds
+    | None -> ())
   | Scale_up k ->
     for _ = 1 to k do
       ignore (Sim.add_server ~boot_delay:cfg.boot_delay sim)
     done;
     c.ups <- c.ups + k;
     c.last_action <- now;
-    c.events_rev <- (now, action) :: c.events_rev
+    c.events_rev <- (now, action) :: c.events_rev;
+    (match c.ostats with
+    | Some s ->
+      Obs.Registry.add s.o_ups k;
+      decision_event c obs ~name:"elastic.scale_up" ~k ~pool_after:c.pool
+    | None -> ())
   | Scale_down k ->
     let retired = ref 0 in
     for _ = 1 to k do
@@ -362,7 +418,13 @@ let tick c sim =
     if !retired > 0 then begin
       c.downs <- c.downs + !retired;
       c.last_action <- now;
-      c.events_rev <- (now, Scale_down !retired) :: c.events_rev
+      c.events_rev <- (now, Scale_down !retired) :: c.events_rev;
+      match c.ostats with
+      | Some s ->
+        Obs.Registry.add s.o_downs !retired;
+        decision_event c obs ~name:"elastic.scale_down" ~k:!retired
+          ~pool_after:c.pool
+      | None -> ()
     end);
   (* fresh evidence window *)
   c.win_margin_sum <- 0.0;
@@ -390,22 +452,75 @@ let summary c =
    probe), the controller on the ticker, the drop policy of footnote 2
    unless overridden. *)
 
-let run ?(policy = sla_tree_policy) ?drop_policy ~config:cfg ~queries
-    ~n_servers ~warmup_id () =
-  let c = create cfg policy ~initial_servers:n_servers in
+let timeseries_columns =
+  [|
+    "pool"; "accepting"; "queue_len"; "backlog"; "booting"; "draining";
+    "cum_profit";
+  |]
+
+let timeseries () = Obs.Timeseries.create ~columns:timeseries_columns
+
+(* One timeseries row per controller tick, sampled before the decision
+   so the row reflects the state the policy saw. *)
+let sample_timeseries c ts metrics sim =
+  let m = Sim.n_servers sim in
+  let queue = ref 0
+  and backlog = ref 0.0
+  and accepting = ref 0
+  and booting = ref 0
+  and draining = ref 0 in
+  for sid = 0 to m - 1 do
+    let s = Sim.server sim sid in
+    (match Sim.server_state sim sid with
+    | Sim.Retired -> ()
+    | st ->
+      queue := !queue + Sim.buffer_length s;
+      backlog := !backlog +. Sim.est_work_left sim s;
+      (match st with
+      | Sim.Booting _ -> incr booting
+      | Sim.Draining -> incr draining
+      | Sim.Active | Sim.Retired -> ()));
+    if Sim.dispatchable sim sid then incr accepting
+  done;
+  Obs.Timeseries.sample ts ~now:(Sim.now sim)
+    [|
+      Float.of_int c.pool;
+      Float.of_int !accepting;
+      Float.of_int !queue;
+      !backlog;
+      Float.of_int !booting;
+      Float.of_int !draining;
+      Metrics.total_profit metrics;
+    |]
+
+let run ?(obs = Obs.noop) ?timeseries ?(policy = sla_tree_policy) ?drop_policy
+    ~config:cfg ~queries ~n_servers ~warmup_id () =
+  let c = create ~obs cfg policy ~initial_servers:n_servers in
   let metrics = Metrics.create ~warmup_id in
-  let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
-  let dispatch = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()) in
+  let pick_next, hook =
+    Schedulers.instantiate ~obs Schedulers.fcfs_sla_tree_incr
+  in
+  let dispatch =
+    Dispatchers.instantiate ~obs (Dispatchers.fcfs_sla_tree_incr ())
+  in
   let last_event = ref 0.0 in
   let on_server_event ~sid ~now ev =
     if now > !last_event then last_event := now;
     on_server_event c ~sid ~now ev;
     match hook with Some h -> h ~sid ~now ev | None -> ()
   in
-  Sim.run ?drop_policy
+  let ticker_body =
+    match timeseries with
+    | None -> tick c
+    | Some ts ->
+      fun sim ->
+        sample_timeseries c ts metrics sim;
+        tick c sim
+  in
+  Sim.run ~obs ?drop_policy
     ~on_dispatch:(fun ~now q d -> on_dispatch c ~now q d)
     ~on_server_event
-    ~ticker:(cfg.interval, tick c)
+    ~ticker:(cfg.interval, ticker_body)
     ~queries ~n_servers ~pick_next ~dispatch ~metrics ();
   finalize c ~now:!last_event;
   (metrics, summary c)

@@ -102,7 +102,14 @@ type summary = {
     {!tick} into [Sim.run] (or use {!run}). *)
 type t
 
-val create : config -> policy -> initial_servers:int -> t
+(** When [obs] is an enabled sink, the controller counts its decisions
+    ([elastic.decisions] / [elastic.holds] / [elastic.scale_ups] /
+    [elastic.scale_downs]) and emits one instant trace event per
+    applied scale action ([elastic.scale_up] / [elastic.scale_down],
+    category ["elastic"]) whose args carry the probe evidence the
+    decision rested on: window margin per query and gain, arrival
+    count, removal-probe cost, the rent, and the pool size. *)
+val create : ?obs:Obs.t -> config -> policy -> initial_servers:int -> t
 
 (** Accumulates the window's idle-server margin evidence — wire as
     [Sim.run]'s [on_dispatch]. *)
@@ -120,11 +127,26 @@ val finalize : t -> now:float -> unit
 
 val summary : t -> summary
 
+(** Column names of the controller's per-tick time series. *)
+val timeseries_columns : string array
+
+(** A fresh sampler over {!timeseries_columns}. *)
+val timeseries : unit -> Obs.Timeseries.t
+
 (** One-call harness: incremental FCFS SLA-tree scheduling and
     dispatching, the controller on the ticker. [n_servers] is the
     initial pool. Returns the run metrics and the controller summary
-    (net value = [Metrics.total_profit] − [summary.cost]). *)
+    (net value = [Metrics.total_profit] − [summary.cost]).
+
+    [obs] (default {!Obs.noop}) threads one sink through the whole
+    run: the simulator core, the scheduler/dispatcher decision timers
+    and the controller (see {!create}). [timeseries] — a sampler from
+    {!timeseries} — receives one row per controller tick (pool,
+    accepting, queue length, backlog, booting/draining counts,
+    cumulative profit), sampled before the decision. *)
 val run :
+  ?obs:Obs.t ->
+  ?timeseries:Obs.Timeseries.t ->
   ?policy:policy ->
   ?drop_policy:(now:float -> Query.t -> bool) ->
   config:config ->

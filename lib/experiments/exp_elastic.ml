@@ -109,12 +109,13 @@ let rows ?(kind = Workloads.Exp) ~(scale : Exp_scale.t) ~seed () =
 
 (* Single-policy run on the same workload, with the scale event log —
    the CLI's non-compare mode. *)
-let run_policy ppf ~policy ~initial (scale : Exp_scale.t) =
+let run_policy ?obs ?timeseries ppf ~policy ~initial (scale : Exp_scale.t) =
   let seed = scale.Exp_scale.base_seed in
   let queries, interval = workload ~kind:Workloads.Exp ~scale ~seed in
   let config = elastic_config ~interval in
   let metrics, s =
-    Elastic.run ~policy ~config ~queries ~n_servers:initial ~warmup_id:0 ()
+    Elastic.run ?obs ?timeseries ~policy ~config ~queries ~n_servers:initial
+      ~warmup_id:0 ()
   in
   let profit = Metrics.total_profit metrics in
   Fmt.pf ppf "policy %s, %d queries, initial pool %d, interval %.0f ms@."

@@ -24,9 +24,17 @@ val rows : ?kind:Workloads.kind -> scale:Exp_scale.t -> seed:int -> unit -> row 
 val pp_row : Format.formatter -> row -> unit
 
 (** Run one policy on the experiment's workload, printing the
-    controller summary and the chronological scale-event log. *)
+    controller summary and the chronological scale-event log. [obs]
+    and [timeseries] are threaded into {!Elastic.run} (the CLI's
+    [--trace]/[--metrics]/[--timeseries] flags hook in here). *)
 val run_policy :
-  Format.formatter -> policy:Elastic.policy -> initial:int -> Exp_scale.t -> unit
+  ?obs:Obs.t ->
+  ?timeseries:Obs.Timeseries.t ->
+  Format.formatter ->
+  policy:Elastic.policy ->
+  initial:int ->
+  Exp_scale.t ->
+  unit
 
 (** Print the comparison table for [scale] (single seed:
     [scale.base_seed]). *)

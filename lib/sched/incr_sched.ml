@@ -30,9 +30,11 @@ type t = {
   mutable deciding : int;  (* sid whose completion is being handled *)
   mutable fast : int;
   mutable rebuilt : int;
+  obs : Obs.t;
 }
 
-let create () = { servers = [||]; deciding = 0; fast = 0; rebuilt = 0 }
+let create ?(obs = Obs.noop) () =
+  { servers = [||]; deciding = 0; fast = 0; rebuilt = 0; obs }
 
 let fast_decisions t = t.fast
 let rebuilt_decisions t = t.rebuilt
@@ -43,7 +45,8 @@ let state t sid ~now =
     let grown =
       Array.init (sid + 1) (fun i ->
           if i < n then t.servers.(i)
-          else { tree = Incr_sla_tree.create ~now [||]; dirty = false })
+          else
+            { tree = Incr_sla_tree.create ~obs:t.obs ~now [||]; dirty = false })
     in
     t.servers <- grown
   end;
@@ -59,7 +62,7 @@ let hook t ~sid ~now ev =
   match ev with
   | Sim.Started q ->
     if st.dirty then begin
-      st.tree <- Incr_sla_tree.create ~now [| q |];
+      st.tree <- Incr_sla_tree.create ~obs:t.obs ~now [| q |];
       st.dirty <- false
     end
     else if Incr_sla_tree.length st.tree = 0 then begin
@@ -68,7 +71,7 @@ let hook t ~sid ~now ev =
     end
     else if not (head_is st q) then begin
       (* Defensive: events were not delivered in full — fall back. *)
-      st.tree <- Incr_sla_tree.create ~now [| q |];
+      st.tree <- Incr_sla_tree.create ~obs:t.obs ~now [| q |];
       st.dirty <- true
     end
   | Sim.Enqueued q -> if not st.dirty then Incr_sla_tree.append st.tree q
@@ -86,7 +89,7 @@ let hook t ~sid ~now ev =
   | Sim.Draining | Sim.Retired -> st.dirty <- true
 
 (* Reconstruct the tree in the order [buffer.(i); buffer \ i]. *)
-let rush st ~now buffer i =
+let rush t st ~now buffer i =
   let n = Array.length buffer in
   let arr = Array.make n buffer.(i) in
   let k = ref 1 in
@@ -97,12 +100,12 @@ let rush st ~now buffer i =
         incr k
       end)
     buffer;
-  st.tree <- Incr_sla_tree.create ~now arr
+  st.tree <- Incr_sla_tree.create ~obs:t.obs ~now arr
 
 let pick t ~now buffer =
   let st = state t t.deciding ~now in
   if st.dirty || Incr_sla_tree.length st.tree <> Array.length buffer then begin
-    st.tree <- Incr_sla_tree.create ~now buffer;
+    st.tree <- Incr_sla_tree.create ~obs:t.obs ~now buffer;
     st.dirty <- false;
     t.rebuilt <- t.rebuilt + 1
   end
@@ -110,5 +113,5 @@ let pick t ~now buffer =
   match What_if.best_rush_incr st.tree with
   | None -> invalid_arg "Incr_sched.pick: empty buffer"
   | Some (i, _gain) ->
-    if i <> 0 then rush st ~now buffer i;
+    if i <> 0 then rush t st ~now buffer i;
     i

@@ -21,7 +21,9 @@
 
 type t
 
-val create : unit -> t
+(** When [obs] is enabled, every live tree reports its rebuild/append/
+    pop and what-if probe counts into the sink's registry. *)
+val create : ?obs:Obs.t -> unit -> t
 
 (** Feed one simulator event into the per-server state. *)
 val hook : t -> sid:int -> now:float -> Sim.server_event -> unit

@@ -12,13 +12,34 @@
 
 type hook = sid:int -> now:float -> Sim.server_event -> unit
 
-type t = { name : string; make : unit -> Sim.pick_next * hook option }
+type t = { name : string; make : Obs.t -> Sim.pick_next * hook option }
 
 let name t = t.name
-let instantiate t = t.make ()
-let pick t = fst (t.make ())
 
-let stateless name pick = { name; make = (fun () -> (pick, None)) }
+(* Decision-latency wrapper. Handles are resolved here, once per
+   instantiation; the disabled path returns the raw pick so runs over
+   [Obs.noop] pay nothing at all on this layer. *)
+let timed obs pick =
+  if not (Obs.enabled obs) then pick
+  else begin
+    let reg = Obs.registry obs in
+    let lat = Obs.Registry.histogram reg "sched.decision_ns" in
+    let n = Obs.Registry.counter reg "sched.decisions" in
+    fun ~now buffer ->
+      let t0 = Obs.now_ns () in
+      let i = pick ~now buffer in
+      Obs.Registry.observe lat (Int64.to_float (Int64.sub (Obs.now_ns ()) t0));
+      Obs.Registry.incr n;
+      i
+  end
+
+let instantiate ?(obs = Obs.noop) t =
+  let pick, hook = t.make obs in
+  (timed obs pick, hook)
+
+let pick t = fst (t.make Obs.noop)
+
+let stateless name pick = { name; make = (fun _obs -> (pick, None)) }
 
 let of_planner planner =
   stateless (Planner.name planner) (fun ~now buffer ->
@@ -45,8 +66,8 @@ let fcfs_sla_tree_incr =
   {
     name = "FCFS+SLA-tree(incr)";
     make =
-      (fun () ->
-        let st = Incr_sched.create () in
+      (fun obs ->
+        let st = Incr_sched.create ~obs () in
         (Incr_sched.pick st, Some (Incr_sched.hook st)));
   }
 

@@ -16,8 +16,13 @@ type t
 val name : t -> string
 
 (** Fresh per-run pick function, plus the event hook the run must
-    install when present ([None] for stateless schedulers). *)
-val instantiate : t -> Sim.pick_next * hook option
+    install when present ([None] for stateless schedulers). When [obs]
+    is an enabled sink, the pick is wrapped to record per-decision
+    latency ([sched.decision_ns] histogram, [sched.decisions] counter)
+    and the incremental variant reports its SLA-tree and what-if probe
+    counters; over the default {!Obs.noop} the unwrapped pick is
+    returned. *)
+val instantiate : ?obs:Obs.t -> t -> Sim.pick_next * hook option
 
 (** Convenience for stateless schedulers: [fst (instantiate t)].
     For {!fcfs_sla_tree_incr} this still makes correct decisions —

@@ -270,11 +270,21 @@ let create ?speeds ~queries ~n_servers () =
     arrive = None;
   }
 
-let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
-    ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
+let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
+    ?drop_policy ?ticker ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
   let t = create ?speeds ~queries ~n_servers () in
   t.on_event <- on_server_event;
   let total = Array.length queries in
+  (* Observability handles, resolved once per run; every hot-path hit
+     below is guarded by the single [obs_on] branch (the unused names
+     registered on the shared noop registry stay at zero forever). *)
+  let obs_on = Obs.enabled obs in
+  let tr = Obs.trace obs in
+  let reg = Obs.registry obs in
+  let c_arrivals = Obs.Registry.counter reg "sim.arrivals"
+  and c_completions = Obs.Registry.counter reg "sim.completions"
+  and c_dropped = Obs.Registry.counter reg "sim.dropped"
+  and c_rejected = Obs.Registry.counter reg "sim.rejected" in
   (* Footnote-2 alternative: at each scheduling point, abandon buffered
      queries the policy gives up on (typically those past their last
      deadline, whose penalty is already incurred). *)
@@ -289,6 +299,7 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
         (fun q ->
           s.est_backlog <- s.est_backlog -. q.Query.est_size;
           Metrics.record_dropped metrics q;
+          if obs_on then Obs.Registry.incr c_dropped;
           emit t s (Dropped q))
         dropped;
       if Deque.is_empty s.buffer then s.est_backlog <- 0.0
@@ -297,6 +308,12 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
     match s.running with
     | None -> assert false
     | Some r ->
+      if obs_on then begin
+        Obs.Registry.incr c_completions;
+        Obs.Trace.begin_span tr ~cat:"sim"
+          ~args:[ ("sim_t", Obs.Trace.F t.now); ("sid", Obs.Trace.I s.sid) ]
+          "complete"
+      end;
       s.running <- None;
       Metrics.record metrics r.rquery ~completion:t.now;
       emit t s (Finished { query = r.rquery; actual = t.now -. r.started });
@@ -319,17 +336,27 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
       else if s.state = Draining then begin
         s.state <- Retired;
         emit t s Retired
-      end
+      end;
+      if obs_on then Obs.Trace.end_span tr ()
   in
   let arrive q =
-    let d = dispatch t q in
-    (match on_dispatch with Some f -> f ~now:t.now q d | None -> ());
-    match d.target with
-    | None -> Metrics.record_rejected metrics q
-    | Some sid ->
-      if sid < 0 || sid >= Array.length t.servers then
-        invalid_arg "Sim.run: dispatcher returned an invalid server";
-      dispatch_to t t.servers.(sid) q
+    if obs_on then begin
+      Obs.Registry.incr c_arrivals;
+      Obs.Trace.begin_span tr ~cat:"sim"
+        ~args:[ ("sim_t", Obs.Trace.F t.now); ("qid", Obs.Trace.I q.Query.id) ]
+        "arrive"
+    end;
+    (let d = dispatch t q in
+     (match on_dispatch with Some f -> f ~now:t.now q d | None -> ());
+     match d.target with
+     | None ->
+       if obs_on then Obs.Registry.incr c_rejected;
+       Metrics.record_rejected metrics q
+     | Some sid ->
+       if sid < 0 || sid >= Array.length t.servers then
+         invalid_arg "Sim.run: dispatcher returned an invalid server";
+       dispatch_to t t.servers.(sid) q);
+    if obs_on then Obs.Trace.end_span tr ()
   in
   t.arrive <- Some arrive;
   (* Optional periodic hook (elastic controllers plug in here): fires
@@ -362,7 +389,14 @@ let run ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy ?ticker
       | Some (next_tick, interval, f) when !next_tick <= te ->
         t.now <- !next_tick;
         next_tick := !next_tick +. interval;
-        f t;
+        if obs_on then begin
+          Obs.Trace.begin_span tr ~cat:"sim"
+            ~args:[ ("sim_t", Obs.Trace.F t.now) ]
+            "tick";
+          f t;
+          Obs.Trace.end_span tr ()
+        end
+        else f t;
         loop ()
       | _ -> begin
         match (next_completion, next_arrival) with

@@ -132,8 +132,16 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
     [ticker = (interval, f)] invokes [f] at every multiple of
     [interval] that precedes a remaining arrival or completion —
     elastic controllers call {!add_server}/{!retire_server} from
-    there. [n_servers] is the initial pool size. *)
+    there. [n_servers] is the initial pool size.
+
+    [obs] (default {!Obs.noop}) collects run-level observability:
+    counters [sim.arrivals] / [sim.completions] / [sim.dropped] /
+    [sim.rejected], and trace spans [arrive] / [complete] / [tick]
+    (category ["sim"], simulated time in the span args). Handles are
+    resolved once at run start; with the noop sink every site costs a
+    single predictable branch. *)
 val run :
+  ?obs:Obs.t ->
   ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
   ?on_complete:(Query.t -> completion:float -> unit) ->
   ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->

@@ -48,6 +48,67 @@ let total t = t.count
 let underflow t = t.underflow
 let overflow t = t.overflow
 
+let same_shape a b =
+  a.scale = b.scale && a.lo = b.lo && a.hi = b.hi
+  && Array.length a.bins = Array.length b.bins
+
+(* Sum two histograms over the same binning — the observability
+   registry uses this to aggregate per-server latency histograms into
+   one farm-wide distribution. *)
+let merge a b =
+  if not (same_shape a b) then
+    invalid_arg "Histogram.merge: histograms have different shapes";
+  {
+    scale = a.scale;
+    lo = a.lo;
+    hi = a.hi;
+    bins = Array.init (Array.length a.bins) (fun i -> a.bins.(i) + b.bins.(i));
+    underflow = a.underflow + b.underflow;
+    overflow = a.overflow + b.overflow;
+    count = a.count + b.count;
+  }
+
+let reset t =
+  Array.fill t.bins 0 (Array.length t.bins) 0;
+  t.underflow <- 0;
+  t.overflow <- 0;
+  t.count <- 0
+
+(* Percentile estimate from the binned counts, linear interpolation in
+   the (possibly log-transformed) domain within the bin that contains
+   the target rank. Exact to within one bin width of the sorted-sample
+   percentile (the fuzz tests in test_util.ml pin this bound down).
+   Underflow mass is attributed to [lo], overflow mass to [hi]. *)
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p in [0,100]";
+  if t.count = 0 then Float.nan
+  else begin
+    let target = p /. 100.0 *. Float.of_int t.count in
+    if target <= Float.of_int t.underflow then t.lo
+    else begin
+      let nbins = Array.length t.bins in
+      let lo' = transform t.scale t.lo in
+      let hi' = transform t.scale t.hi in
+      let w = (hi' -. lo') /. Float.of_int nbins in
+      let untransform v =
+        match t.scale with Linear -> v | Log10 -> 10.0 ** v
+      in
+      let rec walk i cum =
+        if i >= nbins then t.hi
+        else begin
+          let k = t.bins.(i) in
+          let cum' = cum +. Float.of_int k in
+          if k > 0 && target <= cum' then begin
+            let frac = (target -. cum) /. Float.of_int k in
+            untransform (lo' +. ((Float.of_int i +. frac) *. w))
+          end
+          else walk (i + 1) cum'
+        end
+      in
+      walk 0 (Float.of_int t.underflow)
+    end
+  end
+
 let bin_bounds t i =
   let nbins = Array.length t.bins in
   if i < 0 || i >= nbins then invalid_arg "Histogram.bin_bounds: index";

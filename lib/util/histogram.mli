@@ -25,5 +25,19 @@ val overflow : t -> int
 (** Bounds of bin [i] in the original (untransformed) domain. *)
 val bin_bounds : t -> int -> float * float
 
+(** Sum of two histograms with identical scale, range and bin count
+    (used by the observability registry to aggregate per-server
+    histograms). Raises [Invalid_argument] on a shape mismatch. *)
+val merge : t -> t -> t
+
+(** Clear all counts in place, keeping the binning. *)
+val reset : t -> unit
+
+(** Percentile estimate from the binned counts ([p] in [0, 100]; NaN
+    when empty). Linear interpolation inside the bin containing the
+    target rank — within one bin width of the exact sorted-sample
+    percentile. Underflow mass reports [lo], overflow mass [hi]. *)
+val percentile : t -> float -> float
+
 (** ASCII bar rendering. *)
 val render : ?width:int -> Format.formatter -> t -> unit

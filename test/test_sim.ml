@@ -369,6 +369,64 @@ let test_invalid_speeds () =
   check_bool "non-positive" true
     (match run [| 0.0 |] with exception Invalid_argument _ -> true | _ -> false)
 
+(* Negative paths: the pool-management and dispatch guards must raise
+   Invalid_argument instead of corrupting the run. Mid-run Sim.t state
+   is reached through the dispatcher closure (it receives the sim). *)
+
+let raises_invalid f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* Run one query; at its arrival the dispatcher evaluates [probe sim]
+   and reports whether it raised. *)
+let probe_raises probe =
+  let result = ref None in
+  let dispatch sim _q =
+    result := Some (raises_invalid (fun () -> probe sim));
+    { Sim.target = Some 0; est_delta = None }
+  in
+  ignore (run_collect ~dispatch [| mk 0 0.0 1.0 |]);
+  match !result with Some b -> b | None -> Alcotest.fail "probe never ran"
+
+let test_add_server_invalid_speed () =
+  check_bool "zero speed raises" true
+    (probe_raises (fun sim -> ignore (Sim.add_server ~speed:0.0 sim)));
+  check_bool "negative speed raises" true
+    (probe_raises (fun sim -> ignore (Sim.add_server ~speed:(-2.0) sim)))
+
+let test_add_server_invalid_boot_delay () =
+  check_bool "negative boot delay raises" true
+    (probe_raises (fun sim -> ignore (Sim.add_server ~boot_delay:(-0.1) sim)))
+
+let test_retire_unknown_server () =
+  check_bool "out-of-range id raises" true
+    (probe_raises (fun sim -> Sim.retire_server sim 42));
+  check_bool "negative id raises" true
+    (probe_raises (fun sim -> Sim.retire_server sim (-1)))
+
+let test_retire_would_empty_pool () =
+  check_bool "draining the last accepting server raises" true
+    (probe_raises (fun sim -> Sim.retire_server sim 0))
+
+let test_dispatch_to_non_accepting () =
+  (* Target a freshly added server that is still booting. *)
+  let first = ref true in
+  let dispatch sim _q =
+    if !first then begin
+      first := false;
+      ignore (Sim.add_server ~boot_delay:1_000.0 sim)
+    end;
+    { Sim.target = Some 1; est_delta = None }
+  in
+  check_bool "dispatching to a booting server raises" true
+    (raises_invalid (fun () ->
+         ignore (run_collect ~dispatch [| mk 0 0.0 1.0 |])))
+
+let test_negative_scheduler_index () =
+  let bad_pick ~now:_ _buffer = -1 in
+  let queries = [| mk 0 0.0 5.0; mk 1 1.0 1.0 |] in
+  check_bool "negative index raises" true
+    (raises_invalid (fun () -> ignore (run_collect ~pick:bad_pick queries)))
+
 let test_simulation_drains_large_trace () =
   let cfg =
     Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load:0.9
@@ -460,6 +518,21 @@ let () =
           Alcotest.test_case "heterogeneous work left" `Quick
             test_heterogeneous_work_left;
           Alcotest.test_case "invalid speeds" `Quick test_invalid_speeds;
+        ] );
+      ( "negative paths",
+        [
+          Alcotest.test_case "add_server invalid speed" `Quick
+            test_add_server_invalid_speed;
+          Alcotest.test_case "add_server invalid boot delay" `Quick
+            test_add_server_invalid_boot_delay;
+          Alcotest.test_case "retire unknown server" `Quick
+            test_retire_unknown_server;
+          Alcotest.test_case "retire would empty pool" `Quick
+            test_retire_would_empty_pool;
+          Alcotest.test_case "dispatch to non-accepting server" `Quick
+            test_dispatch_to_non_accepting;
+          Alcotest.test_case "negative scheduler index" `Quick
+            test_negative_scheduler_index;
         ] );
       ( "end-to-end",
         [

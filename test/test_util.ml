@@ -409,6 +409,79 @@ let test_histogram_invalid () =
     (Invalid_argument "Histogram.create: log scale needs lo > 0") (fun () ->
       ignore (Histogram.create ~scale:Histogram.Log10 ~lo:0.0 ~hi:1.0 ~bins:2))
 
+let test_histogram_merge () =
+  let mk () = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let a = mk () and b = mk () in
+  List.iter (Histogram.add a) [ 1.0; 3.0; -1.0; 42.0 ];
+  List.iter (Histogram.add b) [ 1.5; 9.0; -2.0 ];
+  let m = Histogram.merge a b in
+  check_int "total" 7 (Histogram.total m);
+  check_int "underflow" 2 (Histogram.underflow m);
+  check_int "overflow" 1 (Histogram.overflow m);
+  let ca = Histogram.counts a and cb = Histogram.counts b in
+  let cm = Histogram.counts m in
+  Array.iteri (fun i c -> check_int (Fmt.str "bin %d" i) (ca.(i) + cb.(i)) c) cm;
+  (* Inputs are untouched. *)
+  check_int "a unchanged" 4 (Histogram.total a);
+  check_int "b unchanged" 3 (Histogram.total b)
+
+let test_histogram_merge_mismatch () =
+  let a = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let wrong_bins = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:10.0 ~bins:4 in
+  let wrong_scale = Histogram.create ~scale:Histogram.Log10 ~lo:1.0 ~hi:10.0 ~bins:5 in
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "bins" true (raises (fun () -> ignore (Histogram.merge a wrong_bins)));
+  check_bool "scale" true (raises (fun () -> ignore (Histogram.merge a wrong_scale)))
+
+let test_histogram_reset () =
+  let h = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) [ 1.0; -1.0; 42.0 ];
+  Histogram.reset h;
+  check_int "total" 0 (Histogram.total h);
+  check_int "underflow" 0 (Histogram.underflow h);
+  check_int "overflow" 0 (Histogram.overflow h);
+  check_bool "percentile NaN when empty" true
+    (Float.is_nan (Histogram.percentile h 50.0))
+
+let test_histogram_percentile_basic () =
+  let h = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:100.0 ~bins:100 in
+  for i = 0 to 99 do
+    Histogram.add h (Float.of_int i +. 0.5)
+  done;
+  (* With one sample per unit-wide bin, any percentile is within one
+     bin width of the exact sorted-sample answer. *)
+  List.iter
+    (fun p ->
+      let exact = Stats.percentile (Array.init 100 (fun i -> Float.of_int i +. 0.5)) p in
+      let est = Histogram.percentile h p in
+      check_bool (Fmt.str "p%.0f within a bin" p) true (Float.abs (est -. exact) <= 1.0))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ]
+
+(* Fuzz: the binned percentile lands in the same bin as the nearest-rank
+   order statistic, i.e. within one bin width of it. (A linear-interpolation
+   oracle would be wrong here: with sparse samples it interpolates across
+   gaps far wider than a bin, which the histogram cannot see.) *)
+let prop_histogram_percentile_oracle =
+  QCheck.Test.make ~name:"histogram percentile tracks nearest-rank oracle"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_bound_exclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let xs = List.map Float.abs xs in
+      let p = Float.max p 1e-6 in
+      let h = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:100.0 ~bins:50 in
+      List.iter (Histogram.add h) xs;
+      let sorted = Array.of_list (List.sort Float.compare xs) in
+      let n = Array.length sorted in
+      let target = p /. 100.0 *. Float.of_int n in
+      let k = Int.min n (Int.max 1 (Float.to_int (Float.ceil target))) in
+      let exact = sorted.(k - 1) in
+      let est = Histogram.percentile h p in
+      let bin_width = 100.0 /. 50.0 in
+      Float.abs (est -. exact) <= bin_width)
+
 (* ------------------------------------------------------------------ *)
 (* Arrayx *)
 
@@ -543,7 +616,13 @@ let () =
           Alcotest.test_case "log nonpositive" `Quick test_histogram_log_nonpositive;
           Alcotest.test_case "bin bounds" `Quick test_histogram_bounds;
           Alcotest.test_case "invalid args" `Quick test_histogram_invalid;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "merge mismatch" `Quick test_histogram_merge_mismatch;
+          Alcotest.test_case "reset" `Quick test_histogram_reset;
+          Alcotest.test_case "percentile basic" `Quick
+            test_histogram_percentile_basic;
           Alcotest.test_case "render smoke" `Quick test_histogram_render_smoke;
+          qtest prop_histogram_percentile_oracle;
         ] );
       ( "arrayx",
         [
