@@ -256,6 +256,103 @@ let run_obs_overhead scale =
     dispatch_lat;
   }
 
+(* Part 1c' — fault-injection hook overhead. Three runs of one steady
+   multi-server workload on the incremental path: no injector at all
+   (the pre-existing fast path), an injector over the empty plan
+   (timers wired, on_server_event chained — what `--faults none`
+   costs), and an active moderate plan. The off-vs-empty delta is the
+   price of merely enabling the hooks; it must stay measurement
+   noise. *)
+
+type fault_bench = {
+  fault_off_ms : float;
+  fault_empty_ms : float;
+  fault_active_ms : float;
+  fault_empty_delta_pct : float;
+}
+
+let timed_run_faults ~make_injector ~queries ~n_servers =
+  let best = ref infinity in
+  Gc.compact ();
+  for _ = 1 to 3 do
+    let metrics = Metrics.create ~warmup_id:0 in
+    let pick_next, hook =
+      Schedulers.instantiate Schedulers.fcfs_sla_tree_incr
+    in
+    let dispatch =
+      Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ())
+    in
+    let injector = make_injector () in
+    let t0 = Sys.time () in
+    (match injector with
+    | None ->
+      Sim.run ?on_server_event:hook ~queries ~n_servers ~pick_next ~dispatch
+        ~metrics ()
+    | Some inj ->
+      let on_server_event ~sid ~now ev =
+        Fault.on_server_event inj ~sid ~now ev;
+        match hook with Some h -> h ~sid ~now ev | None -> ()
+      in
+      Sim.run
+        ~timers:(Fault.timers inj)
+        ~on_server_event ~queries ~n_servers ~pick_next ~dispatch ~metrics ();
+      Fault.finalize inj metrics);
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e3
+
+let run_faults scale =
+  let n =
+    if scale.Exp_scale.n_queries <= Exp_scale.smoke.Exp_scale.n_queries then
+      20_000
+    else 80_000
+  in
+  let n_servers = 4 in
+  let load = 0.9 in
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load
+         ~servers:n_servers ~n_queries:n ~seed:42 ())
+  in
+  let horizon =
+    Float.of_int n
+    *. Workloads.nominal_mean_ms Workloads.Exp
+    /. (load *. Float.of_int n_servers)
+  in
+  Fmt.pr
+    "=== faults: injection hook overhead (steady load, %d queries, %d \
+     servers) ===@."
+    n n_servers;
+  let fault_off_ms =
+    timed_run_faults ~make_injector:(fun () -> None) ~queries ~n_servers
+  in
+  let fault_empty_ms =
+    timed_run_faults
+      ~make_injector:(fun () -> Some (Fault.create ~plan:[] ()))
+      ~queries ~n_servers
+  in
+  let active_plan = Fault.plan_of_spec "moderate" ~horizon ~n_servers in
+  let fault_active_ms =
+    timed_run_faults
+      ~make_injector:(fun () -> Some (Fault.create ~plan:active_plan ()))
+      ~queries ~n_servers
+  in
+  let fault_empty_delta_pct =
+    (fault_empty_ms -. fault_off_ms) /. fault_off_ms *. 100.0
+  in
+  Fmt.pr "hooks absent:    %.1f ms@." fault_off_ms;
+  Fmt.pr
+    "empty plan:      %.1f ms — delta %+.2f%% (run-to-run noise bounds the \
+     hook cost)@."
+    fault_empty_ms fault_empty_delta_pct;
+  Fmt.pr
+    "moderate plan:   %.1f ms (%d events; brownouts grow real backlog, so \
+     extra time is the faults, not the hooks)@.@."
+    fault_active_ms
+    (List.length active_plan);
+  { fault_off_ms; fault_empty_ms; fault_active_ms; fault_empty_delta_pct }
+
 (* Part 1d — the elastic scenario: the full four-way autoscaling
    comparison (Exp_elastic), timed end to end. *)
 let run_elastic scale =
@@ -297,7 +394,7 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs =
+let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -369,6 +466,18 @@ let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs =
        (json_float obs.on_overhead_pct));
   lat_json "sched_decision_ns" obs.sched_lat false;
   lat_json "dispatch_decision_ns" obs.dispatch_lat true;
+  add "  },\n";
+  add "  \"faults\": {\n";
+  add (Printf.sprintf "    \"off_ms\": %s,\n" (json_float faults.fault_off_ms));
+  add
+    (Printf.sprintf "    \"empty_plan_ms\": %s,\n"
+       (json_float faults.fault_empty_ms));
+  add
+    (Printf.sprintf "    \"active_plan_ms\": %s,\n"
+       (json_float faults.fault_active_ms));
+  add
+    (Printf.sprintf "    \"empty_delta_pct\": %s\n"
+       (json_float faults.fault_empty_delta_pct));
   add "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -388,9 +497,11 @@ let () =
      numbers taken afterwards. *)
   let throughput = run_sim_throughput scale in
   let obs = run_obs_overhead scale in
+  let faults = run_faults scale in
   let elastic = run_elastic scale in
   let micro = run_micro () in
-  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic ~obs;
+  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic ~obs
+    ~faults;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

@@ -127,7 +127,8 @@ let write_timeseries_output ts ~path =
   Fmt.pf ppf "wrote %d time-series samples to %s@." (Obs.Timeseries.length ts)
     path
 
-let run_elastic compare policy servers scale_opt trace metrics timeseries =
+let run_elastic compare policy servers scale_opt trace metrics timeseries
+    faults =
   let scale = resolve_scale scale_opt in
   print_scale scale;
   if compare then `Ok (Exp_elastic.run ppf scale)
@@ -137,13 +138,15 @@ let run_elastic compare policy servers scale_opt trace metrics timeseries =
     | Ok policy ->
       let obs = obs_of_outputs ~trace ~metrics in
       let ts = Option.map (fun _ -> Elastic.timeseries ()) timeseries in
-      Exp_elastic.run_policy ~obs ?timeseries:ts ppf ~policy ~initial:servers
-        scale;
-      write_obs_outputs obs ~trace ~metrics;
-      (match (ts, timeseries) with
-      | Some ts, Some path -> write_timeseries_output ts ~path
-      | _ -> ());
-      `Ok ()
+      (try
+         Exp_elastic.run_policy ~obs ?timeseries:ts ?faults ppf ~policy
+           ~initial:servers scale;
+         write_obs_outputs obs ~trace ~metrics;
+         (match (ts, timeseries) with
+         | Some ts, Some path -> write_timeseries_output ts ~path
+         | _ -> ());
+         `Ok ()
+       with Invalid_argument e -> `Error (false, e))
 
 let run_validate scale_opt =
   let scale = resolve_scale scale_opt in
@@ -324,7 +327,7 @@ let sample_sim ts metrics sim =
     |]
 
 let run_sim kind profile load servers n seed sigma2 scheduler_name
-    dispatcher_name warmup trace metrics_out timeseries_out =
+    dispatcher_name warmup trace metrics_out timeseries_out faults =
   match (kind_of_string kind, profile_of_string profile) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok kind, Ok profile ->
@@ -351,46 +354,74 @@ let run_sim kind profile load servers n seed sigma2 scheduler_name
       let metrics = Metrics.create ~warmup_id:warmup in
       let pick_next, hook = Schedulers.instantiate ~obs scheduler in
       let dispatch = Dispatchers.instantiate ~obs dispatcher in
-      (* Sample roughly 200 rows over the arrival span (at least one
-         mean execution time apart, so a degenerate span cannot make
-         the ticker spin). *)
-      let ts_ticker =
-        match timeseries_out with
-        | None -> None
-        | Some _ ->
-          let ts = Obs.Timeseries.create ~columns:sim_timeseries_columns in
-          let span =
+      let injector =
+        match faults with
+        | None -> Ok None
+        | Some spec -> (
+          let horizon =
             if n > 0 then queries.(Array.length queries - 1).Query.arrival
             else 0.0
           in
-          let interval = Float.max mean (span /. 200.0) in
-          Some (ts, (interval, fun sim -> sample_sim ts metrics sim))
+          match Fault.plan_of_spec spec ~horizon ~n_servers:servers with
+          | exception Invalid_argument e -> Error e
+          | plan -> Ok (Some (Fault.create ~obs ~plan ())))
       in
-      Sim.run ~obs ?on_server_event:hook
-        ?ticker:(Option.map snd ts_ticker)
-        ~queries ~n_servers:servers ~pick_next ~dispatch ~metrics ();
-      Fmt.pf ppf
-        "simulated %d queries (%s/%s, load %.2f; %s / %s, %d server(s), \
-         warm-up %d)@."
-        (Array.length queries)
-        (Workloads.kind_name kind)
-        (Workloads.profile_name profile)
-        load (Schedulers.name scheduler)
-        (Dispatchers.name dispatcher)
-        servers warmup;
-      Fmt.pf ppf "  avg profit loss : $%.4f per query@."
-        (Metrics.avg_loss metrics);
-      Fmt.pf ppf "  avg profit      : $%.4f per query@."
-        (Metrics.avg_profit metrics);
-      Fmt.pf ppf "  deadline misses : %.2f%%@."
-        (100.0 *. Metrics.late_fraction metrics);
-      if Metrics.rejected_count metrics > 0 then
-        Fmt.pf ppf "  rejected        : %d@." (Metrics.rejected_count metrics);
-      write_obs_outputs obs ~trace ~metrics:metrics_out;
-      (match (ts_ticker, timeseries_out) with
-      | Some (ts, _), Some path -> write_timeseries_output ts ~path
-      | _ -> ());
-      `Ok ())
+      (match injector with
+      | Error e -> `Error (false, e)
+      | Ok injector ->
+        let on_server_event ~sid ~now ev =
+          Option.iter (fun i -> Fault.on_server_event i ~sid ~now ev) injector;
+          match hook with Some h -> h ~sid ~now ev | None -> ()
+        in
+        (* Sample roughly 200 rows over the arrival span (at least one
+           mean execution time apart, so a degenerate span cannot make
+           the ticker spin). *)
+        let ts_ticker =
+          match timeseries_out with
+          | None -> None
+          | Some _ ->
+            let ts = Obs.Timeseries.create ~columns:sim_timeseries_columns in
+            let span =
+              if n > 0 then queries.(Array.length queries - 1).Query.arrival
+              else 0.0
+            in
+            let interval = Float.max mean (span /. 200.0) in
+            Some (ts, (interval, fun sim -> sample_sim ts metrics sim))
+        in
+        Sim.run ~obs ~on_server_event
+          ?ticker:(Option.map snd ts_ticker)
+          ?timers:(Option.map Fault.timers injector)
+          ~queries ~n_servers:servers ~pick_next ~dispatch ~metrics ();
+        Option.iter (fun i -> Fault.finalize i metrics) injector;
+        Fmt.pf ppf
+          "simulated %d queries (%s/%s, load %.2f; %s / %s, %d server(s), \
+           warm-up %d)@."
+          (Array.length queries)
+          (Workloads.kind_name kind)
+          (Workloads.profile_name profile)
+          load (Schedulers.name scheduler)
+          (Dispatchers.name dispatcher)
+          servers warmup;
+        Fmt.pf ppf "  avg profit loss : $%.4f per query@."
+          (Metrics.avg_loss metrics);
+        Fmt.pf ppf "  avg profit      : $%.4f per query@."
+          (Metrics.avg_profit metrics);
+        Fmt.pf ppf "  deadline misses : %.2f%%@."
+          (100.0 *. Metrics.late_fraction metrics);
+        if Metrics.rejected_count metrics > 0 then
+          Fmt.pf ppf "  rejected        : %d@."
+            (Metrics.rejected_count metrics);
+        if Metrics.lost_count metrics > 0 then
+          Fmt.pf ppf "  lost to crashes : %d@." (Metrics.lost_count metrics);
+        Option.iter
+          (fun i -> Fmt.pf ppf "  faults          : %a@." Fault.pp_stats
+              (Fault.stats i))
+          injector;
+        write_obs_outputs obs ~trace ~metrics:metrics_out;
+        (match (ts_ticker, timeseries_out) with
+        | Some (ts, _), Some path -> write_timeseries_output ts ~path
+        | _ -> ());
+        `Ok ()))
 
 (* The three observability output flags, shared by sim and elastic. *)
 let trace_file_arg =
@@ -420,6 +451,15 @@ let timeseries_file_arg =
         ~doc:
           "Write per-tick pool/backlog/profit samples to FILE (JSON when \
            FILE ends in .json, CSV otherwise)")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          ("Inject infrastructure faults (crashes, brownouts, repairs) from \
+            SPEC: " ^ Fault.spec_doc))
 
 let table_cmd =
   let n =
@@ -489,7 +529,7 @@ let elastic_cmd =
     Term.(
       ret
         (const run_elastic $ compare $ policy $ servers $ scale_arg
-       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg))
+       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg $ faults_arg))
 
 let sim_cmd =
   let kind =
@@ -539,7 +579,20 @@ let sim_cmd =
       ret
         (const run_sim $ kind $ profile $ load $ servers $ n $ seed $ sigma2
        $ scheduler $ dispatcher $ warmup $ trace_file_arg $ metrics_file_arg
-       $ timeseries_file_arg))
+       $ timeseries_file_arg $ faults_arg))
+
+let run_resilience scale_opt =
+  let scale = resolve_scale scale_opt in
+  print_scale scale;
+  `Ok (Exp_resilience.run ppf scale)
+
+let resilience_cmd =
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:
+         "Chaos experiment: RR / LWL / SLA-tree dispatch and static vs \
+          autoscaled pools under fault-free, moderate and severe fault plans")
+    Term.(ret (const run_resilience $ scale_arg))
 
 let validate_cmd =
   Cmd.v
@@ -616,7 +669,7 @@ let main =
        ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
     [
       table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
-      validate_cmd; trace_cmd; sim_cmd;
+      validate_cmd; trace_cmd; sim_cmd; resilience_cmd;
     ]
 
 let () = exit (Cmd.eval main)

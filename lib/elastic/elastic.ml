@@ -303,6 +303,10 @@ let on_server_event c ~sid:_ ~now ev =
   | Sim.Started _ | Sim.Enqueued _ | Sim.Finished _ | Sim.Dropped _
   | Sim.Draining ->
     ()
+  (* A crashed ([Down]) server still occupies a machine — the provider
+     keeps paying for it until it is repaired or retired — so fault
+     transitions do not move the cost integral. *)
+  | Sim.Crashed | Sim.Degraded _ | Sim.Restored -> ()
 
 let observe c sim =
   let now = Sim.now sim in
@@ -479,7 +483,9 @@ let sample_timeseries c ts metrics sim =
       (match st with
       | Sim.Booting _ -> incr booting
       | Sim.Draining -> incr draining
-      | Sim.Active | Sim.Retired -> ()));
+      (* [Down] servers hold no work (crash cleared the buffer); their
+         zero contribution falls out of the sums above. *)
+      | Sim.Active | Sim.Down | Sim.Retired -> ()));
     if Sim.dispatchable sim sid then incr accepting
   done;
   Obs.Timeseries.sample ts ~now:(Sim.now sim)
@@ -494,6 +500,7 @@ let sample_timeseries c ts metrics sim =
     |]
 
 let run ?(obs = Obs.noop) ?timeseries ?(policy = sla_tree_policy) ?drop_policy
+    ?timers ?on_server_event:(extra_hook = fun ~sid:_ ~now:_ _ -> ())
     ~config:cfg ~queries ~n_servers ~warmup_id () =
   let c = create ~obs cfg policy ~initial_servers:n_servers in
   let metrics = Metrics.create ~warmup_id in
@@ -507,6 +514,7 @@ let run ?(obs = Obs.noop) ?timeseries ?(policy = sla_tree_policy) ?drop_policy
   let on_server_event ~sid ~now ev =
     if now > !last_event then last_event := now;
     on_server_event c ~sid ~now ev;
+    extra_hook ~sid ~now ev;
     match hook with Some h -> h ~sid ~now ev | None -> ()
   in
   let ticker_body =
@@ -517,7 +525,7 @@ let run ?(obs = Obs.noop) ?timeseries ?(policy = sla_tree_policy) ?drop_policy
         sample_timeseries c ts metrics sim;
         tick c sim
   in
-  Sim.run ~obs ?drop_policy
+  Sim.run ~obs ?drop_policy ?timers
     ~on_dispatch:(fun ~now q d -> on_dispatch c ~now q d)
     ~on_server_event
     ~ticker:(cfg.interval, ticker_body)

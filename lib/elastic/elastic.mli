@@ -143,12 +143,19 @@ val timeseries : unit -> Obs.Timeseries.t
     and the controller (see {!create}). [timeseries] — a sampler from
     {!timeseries} — receives one row per controller tick (pool,
     accepting, queue length, backlog, booting/draining counts,
-    cumulative profit), sampled before the decision. *)
+    cumulative profit), sampled before the decision.
+
+    [timers] and [on_server_event] pass through to {!Sim.run} (the
+    latter runs {e in addition to} the controller's own accounting
+    hook, before the scheduler hook) — fault injectors wire in here
+    without the controller depending on them. *)
 val run :
   ?obs:Obs.t ->
   ?timeseries:Obs.Timeseries.t ->
   ?policy:policy ->
   ?drop_policy:(now:float -> Query.t -> bool) ->
+  ?timers:(float * (Sim.t -> unit)) array ->
+  ?on_server_event:(sid:int -> now:float -> Sim.server_event -> unit) ->
   config:config ->
   queries:Query.t array ->
   n_servers:int ->

@@ -108,15 +108,32 @@ let rows ?(kind = Workloads.Exp) ~(scale : Exp_scale.t) ~seed () =
   ]
 
 (* Single-policy run on the same workload, with the scale event log —
-   the CLI's non-compare mode. *)
-let run_policy ?obs ?timeseries ppf ~policy ~initial (scale : Exp_scale.t) =
+   the CLI's non-compare mode. [faults] is a [Fault.plan_of_spec]
+   string realised over the trace's arrival span against the initial
+   pool. *)
+let run_policy ?obs ?timeseries ?faults ppf ~policy ~initial
+    (scale : Exp_scale.t) =
   let seed = scale.Exp_scale.base_seed in
   let queries, interval = workload ~kind:Workloads.Exp ~scale ~seed in
   let config = elastic_config ~interval in
-  let metrics, s =
-    Elastic.run ?obs ?timeseries ~policy ~config ~queries ~n_servers:initial
-      ~warmup_id:0 ()
+  let injector =
+    Option.map
+      (fun spec ->
+        let horizon =
+          if Array.length queries = 0 then 0.0
+          else queries.(Array.length queries - 1).Query.arrival
+        in
+        let plan = Fault.plan_of_spec spec ~horizon ~n_servers:initial in
+        Fault.create ?obs ~plan ())
+      faults
   in
+  let metrics, s =
+    Elastic.run ?obs ?timeseries
+      ?timers:(Option.map Fault.timers injector)
+      ?on_server_event:(Option.map Fault.on_server_event injector)
+      ~policy ~config ~queries ~n_servers:initial ~warmup_id:0 ()
+  in
+  Option.iter (fun i -> Fault.finalize i metrics) injector;
   let profit = Metrics.total_profit metrics in
   Fmt.pf ppf "policy %s, %d queries, initial pool %d, interval %.0f ms@."
     (Elastic.policy_name policy)
@@ -129,7 +146,10 @@ let run_policy ?obs ?timeseries ppf ~policy ~initial (scale : Exp_scale.t) =
     profit s.Elastic.cost
     (profit -. s.Elastic.cost)
     (Metrics.avg_loss metrics)
-    (100.0 *. Metrics.late_fraction metrics)
+    (100.0 *. Metrics.late_fraction metrics);
+  Option.iter
+    (fun i -> Fmt.pf ppf "faults: %a@." Fault.pp_stats (Fault.stats i))
+    injector
 
 let pp_row ppf r =
   Fmt.pf ppf "%-20s %9.0f %12.0f %9.0f %9.0f %5d..%-4d %3d %5d %9.3f %7.1f%%"

@@ -26,10 +26,14 @@ val pp_row : Format.formatter -> row -> unit
 (** Run one policy on the experiment's workload, printing the
     controller summary and the chronological scale-event log. [obs]
     and [timeseries] are threaded into {!Elastic.run} (the CLI's
-    [--trace]/[--metrics]/[--timeseries] flags hook in here). *)
+    [--trace]/[--metrics]/[--timeseries] flags hook in here).
+    [faults] is a {!Fault.plan_of_spec} string (the [--faults] flag):
+    the plan is realised over the trace's arrival span against the
+    initial pool, and a fault summary line is printed. *)
 val run_policy :
   ?obs:Obs.t ->
   ?timeseries:Obs.Timeseries.t ->
+  ?faults:string ->
   Format.formatter ->
   policy:Elastic.policy ->
   initial:int ->

@@ -1,0 +1,234 @@
+(* Resilience experiment (beyond the paper, chaos-engineering style):
+   the same steady workload replayed under scripted infrastructure
+   faults — full crashes (buffered work orphaned, re-injected as
+   retries that keep their original SLA clock) and brownouts — across
+   dispatchers (RR / LWL / SLA-tree) and pool managers (static /
+   SLA-tree autoscaler).
+
+   The question: profit-oriented dispatch earns more in fair weather;
+   does that edge survive (or grow) when servers fail under it? Each
+   configuration is compared to its own fault-free baseline, so the
+   reported drop isolates the cost of the faults from the absolute
+   quality of the policy. All fault plans share one seed and the
+   workload stream is untouched by enabling them ([Prng.split_key]),
+   so every cell sees the same queries and the same fault instants. *)
+
+type row = {
+  pool : string;  (** "static" or "autoscale" *)
+  dispatcher : string;
+  plan : string;
+  profit : float;  (** total measured profit, $ *)
+  drop : float;  (** profit lost vs the fault-free baseline, fraction *)
+  avg_loss : float;
+  late : float;
+  lost : int;  (** queries lost to crashes (retry cap / no requeue) *)
+  retries : int;
+  crashes : int;
+  degrades : int;
+  skipped : int;
+  mttr : float;  (** mean time-to-recover, ms; NaN when no crash resolved *)
+}
+
+let servers = 4
+let load = 0.9
+let kind = Workloads.Exp
+
+(* Expected arrival span of the steady trace — the fault-plan horizon
+   (the model needs it to scale MTTF to the run length). *)
+let horizon ~(scale : Exp_scale.t) =
+  Float.of_int scale.Exp_scale.n_queries
+  *. Workloads.nominal_mean_ms kind
+  /. (load *. Float.of_int servers)
+
+let workload ~(scale : Exp_scale.t) =
+  Trace.generate
+    (Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers
+       ~n_queries:scale.Exp_scale.n_queries ~seed:scale.Exp_scale.base_seed ())
+
+let plan_specs = [ "none"; "moderate"; "severe" ]
+
+let dispatchers =
+  [
+    ("RR", fun () -> Dispatchers.round_robin);
+    ("LWL", fun () -> Dispatchers.lwl);
+    ("SLA-tree", fun () -> Dispatchers.fcfs_sla_tree_incr ());
+  ]
+
+(* One static-pool run: fixed scheduler (incremental FCFS SLA-tree),
+   the dispatcher under test, the fault plan wired in through the
+   simulator's timers. *)
+let run_static ?obs ~queries ~warmup_id ~plan ~dispatcher () =
+  let injector = Fault.create ?obs ~plan () in
+  let metrics = Metrics.create ~warmup_id in
+  let pick_next, hook =
+    Schedulers.instantiate ?obs Schedulers.fcfs_sla_tree_incr
+  in
+  let on_server_event ~sid ~now ev =
+    Fault.on_server_event injector ~sid ~now ev;
+    match hook with Some h -> h ~sid ~now ev | None -> ()
+  in
+  Sim.run ?obs
+    ~timers:(Fault.timers injector)
+    ~on_server_event ~queries ~n_servers:servers ~pick_next
+    ~dispatch:(Dispatchers.instantiate ?obs dispatcher)
+    ~metrics ();
+  Fault.finalize injector metrics;
+  (metrics, Fault.stats injector)
+
+(* The autoscaled variant: same plan against the elastic harness
+   (which owns dispatcher and scheduler — incremental SLA-tree), the
+   injector riding its [timers]/[on_server_event] passthrough. *)
+let elastic_config ~(scale : Exp_scale.t) =
+  let interval = horizon ~scale /. 120.0 in
+  Elastic.config ~interval ~cost_per_interval:(0.0225 *. interval)
+    ~boot_delay:(interval /. 2.0) ~cooldown:(2.0 *. interval) ~min_servers:2
+    ~max_servers:(2 * servers) ()
+
+let run_elastic ?obs ~queries ~warmup_id ~plan ~scale () =
+  let injector = Fault.create ?obs ~plan () in
+  let metrics, _summary =
+    Elastic.run ?obs
+      ~timers:(Fault.timers injector)
+      ~on_server_event:(Fault.on_server_event injector)
+      ~config:(elastic_config ~scale) ~queries ~n_servers:servers ~warmup_id ()
+  in
+  Fault.finalize injector metrics;
+  (metrics, Fault.stats injector)
+
+(* One row aggregates the cell's repeats (one per plan seed): means of
+   the profit metrics, counts averaged and rounded, mean recovery time
+   over the repeats that resolved any crash. *)
+let make_row ~pool ~dispatcher ~plan ~baseline_profit results =
+  let fn = Float.of_int (List.length results) in
+  let meanf f = List.fold_left (fun a x -> a +. f x) 0.0 results /. fn in
+  let meani f =
+    Float.to_int
+      (Float.round (Float.of_int (List.fold_left (fun a x -> a + f x) 0 results) /. fn))
+  in
+  let profit = meanf (fun (m, _) -> Metrics.total_profit m) in
+  let drop =
+    match baseline_profit with
+    | Some base when Float.abs base > 1e-9 -> (base -. profit) /. base
+    | _ -> 0.0
+  in
+  let mttrs =
+    List.filter_map
+      (fun (_, s) ->
+        let m = Fault.mean_time_to_recover s in
+        if Float.is_nan m then None else Some m)
+      results
+  in
+  {
+    pool;
+    dispatcher;
+    plan;
+    profit;
+    drop;
+    avg_loss = meanf (fun (m, _) -> Metrics.avg_loss m);
+    late = meanf (fun (m, _) -> Metrics.late_fraction m);
+    lost = meani (fun (m, _) -> Metrics.lost_count m);
+    retries = meani (fun (_, s) -> s.Fault.retries);
+    crashes = meani (fun (_, s) -> s.Fault.crashes);
+    degrades = meani (fun (_, s) -> s.Fault.degrades);
+    skipped = meani (fun (_, s) -> s.Fault.skipped);
+    mttr =
+      (match mttrs with
+      | [] -> Float.nan
+      | l ->
+        List.fold_left ( +. ) 0.0 l /. Float.of_int (List.length l));
+  }
+
+(* The full grid. Within a (pool, dispatcher) group the fault-free
+   cell runs first (once — no randomness to average) and becomes the
+   baseline; each faulted cell averages [scale.repeats] independent
+   plan seeds over the identical workload. *)
+let rows ?obs ~(scale : Exp_scale.t) () =
+  let queries = workload ~scale in
+  let warmup_id = scale.Exp_scale.warmup in
+  let horizon = horizon ~scale in
+  let specs_of plan =
+    if plan = "none" then [ "none" ]
+    else
+      List.init scale.Exp_scale.repeats (fun repeat ->
+          Printf.sprintf "%s:%d" plan (Exp_scale.seed scale ~repeat))
+  in
+  let group ~pool ~dispatcher run =
+    let baseline = ref None in
+    List.map
+      (fun plan_name ->
+        let results =
+          List.map
+            (fun spec ->
+              run ~plan:(Fault.plan_of_spec spec ~horizon ~n_servers:servers))
+            (specs_of plan_name)
+        in
+        let r =
+          make_row ~pool ~dispatcher ~plan:plan_name
+            ~baseline_profit:!baseline results
+        in
+        if plan_name = "none" then baseline := Some r.profit;
+        r)
+      plan_specs
+  in
+  List.concat_map
+    (fun (name, disp) ->
+      group ~pool:"static" ~dispatcher:name (fun ~plan ->
+          run_static ?obs ~queries ~warmup_id ~plan ~dispatcher:(disp ()) ()))
+    dispatchers
+  @ group ~pool:"autoscale" ~dispatcher:"SLA-tree" (fun ~plan ->
+        run_elastic ?obs ~queries ~warmup_id ~plan ~scale ())
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-9s %-8s %-8s %9.0f %7.1f%% %8.3f %6.1f%% %4d %7d %3d/%-3d %8s"
+    r.pool r.dispatcher r.plan r.profit (100.0 *. r.drop) r.avg_loss
+    (100.0 *. r.late) r.lost r.retries r.crashes r.degrades
+    (if Float.is_nan r.mttr then "-" else Fmt.str "%.0f" r.mttr)
+
+(* The headline claim checked by CI: under the moderate plan the
+   SLA-tree dispatcher's relative profit drop is no worse than RR's
+   and LWL's. Cells are means over a handful of plan seeds, and on a
+   homogeneous farm the tree and LWL make near-identical choices
+   (the tree falls back to LWL on profit ties), so differences below
+   a quarter of a percentage point are plan-seed noise, not policy —
+   the tolerance treats those as a tie. *)
+let drop_tolerance = 0.0025
+
+let verdict rows =
+  let drop_of disp =
+    List.find_opt
+      (fun r -> r.pool = "static" && r.dispatcher = disp && r.plan = "moderate")
+      rows
+    |> Option.map (fun r -> r.drop)
+  in
+  match (drop_of "SLA-tree", drop_of "RR", drop_of "LWL") with
+  | Some tree, Some rr, Some lwl ->
+    Some
+      ( tree <= rr +. drop_tolerance && tree <= lwl +. drop_tolerance,
+        tree,
+        rr,
+        lwl )
+  | _ -> None
+
+let run ppf (scale : Exp_scale.t) =
+  Fmt.pf ppf
+    "@.=== Resilience: steady %s/SLA-B workload under fault injection \
+     (%d queries, load %.2f, %d servers) ===@."
+    (Workloads.kind_name kind) scale.Exp_scale.n_queries load servers;
+  Fmt.pf ppf
+    "plans over horizon %.0f ms, %d seeds per cell: moderate (brownouts \
+     only, ~1 per server, quick repairs), severe (crashes, MTTF=horizon/3, \
+     repairs 2x slower); retries keep the original SLA clock@."
+    (horizon ~scale) scale.Exp_scale.repeats;
+  Fmt.pf ppf "%-9s %-8s %-8s %9s %8s %8s %7s %4s %7s %7s %8s@." "pool"
+    "dispatch" "plan" "profit" "drop" "avg-loss" "late" "lost" "retries"
+    "crash/deg" "mttr";
+  let rs = rows ~scale () in
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_row r) rs;
+  match verdict rs with
+  | Some (ok, tree, rr, lwl) ->
+    Fmt.pf ppf
+      "moderate plan: SLA-tree dispatch drops %.1f%% of its fault-free profit \
+       (RR %.1f%%, LWL %.1f%%) — %s.@."
+      (100.0 *. tree) (100.0 *. rr) (100.0 *. lwl)
+      (if ok then "no worse than either baseline" else "WORSE than a baseline")
+  | None -> ()

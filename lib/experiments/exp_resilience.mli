@@ -1,0 +1,33 @@
+(** Chaos-driven resilience experiment (beyond the paper): the same
+    steady workload under scripted crashes and brownouts, across
+    dispatchers (RR / LWL / SLA-tree) and pool managers (static /
+    SLA-tree autoscaler). Each configuration is scored against its own
+    fault-free baseline; see docs/RESILIENCE.md. *)
+
+type row = {
+  pool : string;
+  dispatcher : string;
+  plan : string;
+  profit : float;
+  drop : float;  (** profit lost vs the fault-free baseline, fraction *)
+  avg_loss : float;
+  late : float;
+  lost : int;
+  retries : int;
+  crashes : int;
+  degrades : int;
+  skipped : int;
+  mttr : float;
+}
+
+(** The full grid: static × {RR, LWL, SLA-tree} × {none, moderate,
+    severe}, then autoscale × the three plans. Every cell replays the
+    identical workload; fault-free cells have [drop = 0]. *)
+val rows : ?obs:Obs.t -> scale:Exp_scale.t -> unit -> row list
+
+(** Whether the SLA-tree dispatcher's moderate-plan profit drop is no
+    worse than RR's and LWL's (up to a quarter-percentage-point
+    plan-seed noise tolerance), with the three drops. *)
+val verdict : row list -> (bool * float * float * float) option
+
+val run : Format.formatter -> Exp_scale.t -> unit

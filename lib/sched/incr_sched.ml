@@ -87,6 +87,14 @@ let hook t ~sid ~now ev =
      be trusted again after a rebuild. *)
   | Sim.Scaled_up -> ()
   | Sim.Draining | Sim.Retired -> st.dirty <- true
+  (* Fault transitions. A crash voids the buffer wholesale (orphans
+     leave without per-query events), so the tree is garbage until
+     rebuilt. A speed change or repair invalidates nothing the tree
+     tracks — it orders queries by profit over est sizes, which are
+     raw (not speed-scaled) — but a [Restored] server coming back from
+     [Down] gets a rebuild anyway via the [Crashed] mark. *)
+  | Sim.Crashed -> st.dirty <- true
+  | Sim.Degraded _ | Sim.Restored -> ()
 
 (* Reconstruct the tree in the order [buffer.(i); buffer \ i]. *)
 let rush t st ~now buffer i =

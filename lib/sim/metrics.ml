@@ -20,6 +20,7 @@ type t = {
   mutable completed_all : int;
   mutable rejected : int;
   mutable dropped : int;
+  mutable lost : int;  (* killed by a crash and never re-served *)
   mutable late : int;  (* measured queries that missed their first deadline *)
 }
 
@@ -36,6 +37,7 @@ let create ~warmup_id =
     completed_all = 0;
     rejected = 0;
     dropped = 0;
+    lost = 0;
     late = 0;
   }
 
@@ -86,10 +88,25 @@ let record_dropped t q =
     t.late <- t.late + 1
   end
 
+(* A query lost to a crash (killed mid-run or mid-buffer and never
+   re-injected): it will never complete, so its last deadline
+   eventually passes and the provider pays the penalty — the same
+   account as a drop, kept on a separate counter because the cause is
+   an infrastructure fault, not a scheduling decision. *)
+let record_lost t q =
+  t.lost <- t.lost + 1;
+  if measured q t then begin
+    let penalty = Sla.penalty q.Query.sla in
+    Stats.add t.profit (-.penalty);
+    Stats.add t.loss (Query.ideal_profit q +. penalty);
+    t.late <- t.late + 1
+  end
+
 let measured_count t = Stats.count t.loss
 let completed_count t = t.completed_all
 let rejected_count t = t.rejected
 let dropped_count t = t.dropped
+let lost_count t = t.lost
 let late_count t = t.late
 let avg_loss t = Stats.mean t.loss
 let avg_profit t = Stats.mean t.profit
@@ -120,7 +137,7 @@ let late_fraction t =
 
 let pp ppf t =
   Fmt.pf ppf
-    "measured=%d completed=%d rejected=%d dropped=%d avg_loss=%.4f \
+    "measured=%d completed=%d rejected=%d dropped=%d lost=%d avg_loss=%.4f \
      avg_profit=%.4f avg_response=%.3f late=%.3f"
-    (measured_count t) t.completed_all t.rejected t.dropped (avg_loss t)
+    (measured_count t) t.completed_all t.rejected t.dropped t.lost (avg_loss t)
     (avg_profit t) (avg_response t) (late_fraction t)

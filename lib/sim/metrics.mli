@@ -16,10 +16,19 @@ val record_rejected : t -> Query.t -> unit
     deadline passed) keep their penalty as profit and count as late. *)
 val record_dropped : t -> Query.t -> unit
 
+(** Queries lost to a server crash and never re-injected: the provider
+    pays the SLA penalty (the query can no longer be served, so its
+    last deadline will pass) and the ideal profit plus the penalty
+    count as loss — drop accounting on a separate counter. *)
+val record_lost : t -> Query.t -> unit
+
 val measured_count : t -> int
 val completed_count : t -> int
 val rejected_count : t -> int
 val dropped_count : t -> int
+
+(** Queries lost to crashes (see {!record_lost}). *)
+val lost_count : t -> int
 
 (** Measured queries that missed their first deadline. *)
 val late_count : t -> int

@@ -15,6 +15,17 @@
    the dispatcher or drained in place, and it leaves the pool once its
    last query completes). Server ids are never reused.
 
+   Non-graceful transitions (lib/fault drives these): [crash_server]
+   kills the machine outright — the running query and the buffer are
+   orphaned and returned to the caller, who decides between
+   re-injection ([reinject], the retry path) and loss; [set_speed] /
+   [degrade_server] change the service rate mid-run (brownout), with
+   the running query's completion rescheduled for the remaining work;
+   [restore_server] undoes either. A crash or reschedule invalidates
+   the server's pending entry in the completion heap; entries carry a
+   per-start token and stale ones are skipped on pop (lazy deletion —
+   the heap never needs decrease-key).
+
    Hot-path notes: buffers are array-backed FIFO deques (O(1) append,
    O(1) length) and each server carries [est_backlog], the sum of
    buffered estimated sizes, maintained incrementally on
@@ -33,17 +44,24 @@ type running = {
    members (they cost money) but accept no work before [until];
    [Draining] servers accept no new work and leave the pool
    ([Retired]) once their running query and any un-redistributed
-   buffer are gone. *)
-type server_state = Booting of float | Active | Draining | Retired
+   buffer are gone. [Down] servers crashed: they hold no work, accept
+   none, and still occupy (and cost) a machine until repaired
+   ([restore_server]) or given up on ([retire_server]). *)
+type server_state = Booting of float | Active | Draining | Down | Retired
 
 type server = {
   sid : int;
-  speed : float;  (** processing rate; execution takes size/speed *)
+  mutable speed : float;
+      (** current processing rate; execution takes size/speed *)
+  nominal : float;  (** the rate the server was provisioned with *)
   mutable running : running option;
   buffer : Query.t Deque.t;  (** arrival order, oldest first *)
   mutable est_backlog : float;
       (** sum of [est_size] over the buffer (raw, not speed-scaled) *)
   mutable state : server_state;
+  mutable run_token : int;
+      (** token of the server's live completion-heap entry; entries
+          whose token no longer matches are stale and skipped *)
 }
 
 (* Per-server life-cycle notifications, consumed by incremental
@@ -53,7 +71,11 @@ type server = {
    Pool membership changes emit Scaled_up (server added), Draining
    (retirement initiated; a redistributed buffer re-enters through the
    dispatcher, emitting fresh Enqueued/Started events on the targets)
-   and Retired (the server left the pool for good). *)
+   and Retired (the server left the pool for good). Fault transitions
+   emit Crashed (all per-server scheduler state is garbage — the
+   orphans leave through [crash_server]'s return value, not through
+   Dropped events), Degraded (service rate changed mid-run) and
+   Restored (rate back to nominal, or a Down server repaired). *)
 type server_event =
   | Started of Query.t
   | Enqueued of Query.t
@@ -62,17 +84,22 @@ type server_event =
   | Scaled_up
   | Draining
   | Retired
+  | Crashed
+  | Degraded of float  (** the new service rate *)
+  | Restored
 
 type t = {
   mutable servers : server array;
   mutable now : float;
   mutable next_arrival : int;
   queries : Query.t array;
-  completions : (float * int) Heap.t;  (** (time, server) *)
+  completions : (float * int * int) Heap.t;  (** (time, server, token) *)
+  mutable token_counter : int;  (** completion-entry tokens, unique per start *)
   mutable on_event : (sid:int -> now:float -> server_event -> unit) option;
   mutable arrive : (Query.t -> unit) option;
       (** the full arrival path (dispatch + metrics + observers), set
-          by [run]; re-entered when a drain redistributes a buffer *)
+          by [run]; re-entered when a drain redistributes a buffer or
+          a crash handler re-injects a retry *)
 }
 
 (* [pick_next ~now buffer] returns the index (into the arrival-ordered
@@ -102,7 +129,7 @@ let dispatchable_server t s =
   | Booting ready when ready <= t.now ->
     s.state <- Active;
     true
-  | Booting _ | Draining | Retired -> false
+  | Booting _ | Draining | Down | Retired -> false
 
 let dispatchable t sid = dispatchable_server t t.servers.(sid)
 
@@ -149,6 +176,13 @@ let backlog_remove s q =
 let drop_past_last_deadline ~now q =
   now > Query.deadline q ~bound:(Sla.last_deadline q.Query.sla)
 
+(* Register [s]'s pending completion at [act_finish]. The fresh token
+   makes any entry the server pushed earlier stale (lazy deletion). *)
+let push_completion t s ~act_finish =
+  t.token_counter <- t.token_counter + 1;
+  s.run_token <- t.token_counter;
+  Heap.push t.completions (act_finish, s.sid, s.run_token)
+
 let start_query t s q =
   assert (s.running = None);
   let r =
@@ -160,7 +194,7 @@ let start_query t s q =
     }
   in
   s.running <- Some r;
-  Heap.push t.completions (r.act_finish, s.sid);
+  push_completion t s ~act_finish:r.act_finish;
   emit t s (Started q)
 
 let dispatch_to t s q =
@@ -179,10 +213,12 @@ let make_server ~sid ~speed ~state =
   {
     sid;
     speed;
+    nominal = speed;
     running = None;
     buffer = Deque.create ();
     est_backlog = 0.0;
     state;
+    run_token = 0;
   }
 
 (* Grow the pool by one server. With [boot_delay], the newcomer joins
@@ -207,15 +243,21 @@ let add_server ?(speed = 1.0) ?(boot_delay = 0.0) t =
    re-enter the dispatcher and land on the remaining pool, otherwise
    the server works its own buffer off. It becomes [Retired] — and
    emits the event — as soon as it holds no work. Idempotent on
-   already-draining/retired servers. *)
+   already-draining/retired servers.
+
+   A redistributed query goes through the full arrival path, so a
+   dispatcher that answers [target = None] REJECTS it: the query is
+   recorded as a rejection (metrics + observers fire exactly as for a
+   fresh arrival) — it is never silently lost. Crash re-injection
+   ([reinject]) rides the same path and inherits the same guarantee. *)
 let retire_server ?(redistribute = true) t sid =
   if sid < 0 || sid >= Array.length t.servers then
     invalid_arg "Sim.retire_server: no such server";
   let s = t.servers.(sid) in
   match s.state with
   | Retired | Draining -> ()
-  | Booting _ ->
-    (* Never accepted work; nothing to drain. *)
+  | Booting _ | Down ->
+    (* Never accepted work / crashed empty; nothing to drain. *)
     s.state <- Retired;
     emit t s Retired
   | Active ->
@@ -242,6 +284,108 @@ let retire_server ?(redistribute = true) t sid =
       emit t s Retired
     end
 
+(* ------------------------------------------------------------------ *)
+(* Non-graceful transitions (the fault-injection surface). *)
+
+(* Kill server [sid] outright. The running query (first) and the
+   buffered queries (arrival order) are returned to the caller — the
+   retry policy, not the simulator, decides between [reinject] and
+   loss. The server becomes [Down] ([Retired] if it was draining: a
+   crashed drain has nothing left to wait for) and its pending
+   completion entry is invalidated. No-op on servers already down or
+   retired. *)
+let crash_server t sid =
+  if sid < 0 || sid >= Array.length t.servers then
+    invalid_arg "Sim.crash_server: no such server";
+  let s = t.servers.(sid) in
+  match s.state with
+  | Down | Retired -> []
+  | Booting _ | Active | Draining ->
+    let orphans =
+      let buffered = Array.to_list (Deque.to_array s.buffer) in
+      match s.running with None -> buffered | Some r -> r.rquery :: buffered
+    in
+    s.running <- None;
+    s.run_token <- 0;
+    Deque.clear s.buffer;
+    s.est_backlog <- 0.0;
+    emit t s Crashed;
+    (match s.state with
+    | Draining ->
+      s.state <- Retired;
+      emit t s Retired
+    | _ ->
+      (* Repair brings the machine back at its provisioned rate. *)
+      s.speed <- s.nominal;
+      s.state <- Down);
+    orphans
+
+(* Change server [sid]'s service rate mid-run (brownout / recovery).
+   [est_backlog] holds raw sizes, so only the running query needs
+   care: its remaining actual and estimated work are carried over to
+   the new rate and the completion is rescheduled (the old heap entry
+   goes stale). Emits [Degraded speed], or [Restored] when the rate
+   returns to the provisioned nominal. No-op when the speed is
+   unchanged or the server is down/retired. *)
+let set_speed t sid ~speed =
+  if sid < 0 || sid >= Array.length t.servers then
+    invalid_arg "Sim.set_speed: no such server";
+  if speed <= 0.0 then invalid_arg "Sim.set_speed: speed must be positive";
+  let s = t.servers.(sid) in
+  match s.state with
+  | Down | Retired -> ()
+  | Booting _ | Active | Draining ->
+    if speed <> s.speed then begin
+      (match s.running with
+      | None -> ()
+      | Some r ->
+        let rem_act = Float.max 0.0 (r.act_finish -. t.now) *. s.speed in
+        let rem_est = Float.max 0.0 (r.est_finish -. t.now) *. s.speed in
+        let r' =
+          {
+            r with
+            act_finish = t.now +. (rem_act /. speed);
+            est_finish = t.now +. (rem_est /. speed);
+          }
+        in
+        s.running <- Some r';
+        push_completion t s ~act_finish:r'.act_finish);
+      s.speed <- speed;
+      emit t s (if speed = s.nominal then Restored else Degraded speed)
+    end
+
+let degrade_server t sid ~factor =
+  if factor <= 0.0 then
+    invalid_arg "Sim.degrade_server: factor must be positive";
+  if sid < 0 || sid >= Array.length t.servers then
+    invalid_arg "Sim.degrade_server: no such server";
+  set_speed t sid ~speed:(t.servers.(sid).nominal *. factor)
+
+(* Undo a fault: a [Down] server rejoins the pool idle at its nominal
+   rate (repair time is the caller's MTTR model — the server comes
+   back the instant this is called); a degraded server returns to
+   nominal via [set_speed]. No-op otherwise. *)
+let restore_server t sid =
+  if sid < 0 || sid >= Array.length t.servers then
+    invalid_arg "Sim.restore_server: no such server";
+  let s = t.servers.(sid) in
+  match s.state with
+  | Down ->
+    s.speed <- s.nominal;
+    s.state <- Active;
+    emit t s Restored
+  | Active | Draining -> if s.speed <> s.nominal then set_speed t sid ~speed:s.nominal
+  | Booting _ | Retired -> ()
+
+(* Re-enter a query through the full arrival path (dispatch, metrics,
+   observers) — the crash-retry channel. The query keeps whatever
+   [arrival] it carries: the SLA clock keeps running across the crash.
+   Only callable while [run] is live. *)
+let reinject t q =
+  match t.arrive with
+  | Some arrive -> arrive q
+  | None -> invalid_arg "Sim.reinject: requires a running loop"
+
 let create ?speeds ~queries ~n_servers () =
   if n_servers <= 0 then invalid_arg "Sim.create: n_servers must be positive";
   let speed_of =
@@ -263,16 +407,41 @@ let create ?speeds ~queries ~n_servers () =
     next_arrival = 0;
     queries;
     completions =
-      Heap.create (fun (ta, sa) (tb, sb) ->
+      Heap.create (fun (ta, sa, ka) (tb, sb, kb) ->
           let c = Float.compare ta tb in
-          if c <> 0 then c else Int.compare sa sb);
+          if c <> 0 then c
+          else
+            let c = Int.compare sa sb in
+            if c <> 0 then c else Int.compare ka kb);
+    token_counter = 0;
     on_event = None;
     arrive = None;
   }
 
 let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
-    ?drop_policy ?ticker ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
+    ?drop_policy ?ticker ?timers ~queries ~n_servers ~pick_next ~dispatch
+    ~metrics () =
   let t = create ?speeds ~queries ~n_servers () in
+  (* One-shot timed callbacks (fault injection plugs in here), fired at
+     exactly their scheduled instants, in array order. Like the ticker,
+     a timer only fires while an arrival or completion remains — the
+     clock never outlives the workload. The empty/absent case costs
+     one integer compare per loop step. *)
+  let timers =
+    match timers with
+    | None -> [||]
+    | Some a ->
+      let last = ref 0.0 in
+      Array.iter
+        (fun (at, _) ->
+          if at < !last then
+            invalid_arg "Sim.run: timers must be sorted by time, non-negative";
+          last := at)
+        a;
+      a
+  in
+  let n_timers = Array.length timers in
+  let timer_idx = ref 0 in
   t.on_event <- on_server_event;
   let total = Array.length queries in
   (* Observability handles, resolved once per run; every hot-path hit
@@ -370,6 +539,18 @@ let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
         invalid_arg "Sim.run: ticker interval must be positive";
       Some (ref interval, interval, f)
   in
+  (* Pop the next completion entry; stale entries (their server
+     started something newer, was crashed, or had its rate changed —
+     the token no longer matches) are discarded without advancing the
+     clock. *)
+  let pop_completion () =
+    let tc, sid, token = Heap.pop_exn t.completions in
+    let s = t.servers.(sid) in
+    if s.run_token = token then begin
+      t.now <- tc;
+      finish_one s
+    end
+  in
   let rec loop () =
     let next_completion = Heap.peek t.completions in
     let next_arrival =
@@ -378,45 +559,61 @@ let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
     let next_event =
       match (next_completion, next_arrival) with
       | None, None -> None
-      | Some (tc, _), None -> Some tc
+      | Some (tc, _, _), None -> Some tc
       | None, Some qa -> Some qa.Query.arrival
-      | Some (tc, _), Some qa -> Some (Float.min tc qa.Query.arrival)
+      | Some (tc, _, _), Some qa -> Some (Float.min tc qa.Query.arrival)
     in
     match next_event with
     | None -> ()
-    | Some te -> begin
-      match tick with
-      | Some (next_tick, interval, f) when !next_tick <= te ->
-        t.now <- !next_tick;
-        next_tick := !next_tick +. interval;
-        if obs_on then begin
-          Obs.Trace.begin_span tr ~cat:"sim"
-            ~args:[ ("sim_t", Obs.Trace.F t.now) ]
-            "tick";
-          f t;
-          Obs.Trace.end_span tr ()
-        end
-        else f t;
+    | Some te ->
+      (* Timed callbacks preempt everything at or after their instant
+         (a fault at t strikes before the arrival, completion or tick
+         at t). *)
+      let timer_due =
+        !timer_idx < n_timers
+        && fst timers.(!timer_idx) <= te
+        &&
+        match tick with
+        | Some (next_tick, _, _) -> fst timers.(!timer_idx) <= !next_tick
+        | None -> true
+      in
+      if timer_due then begin
+        let at, f = timers.(!timer_idx) in
+        incr timer_idx;
+        (* A timer scheduled in the past fires now (time is monotone). *)
+        t.now <- Float.max t.now at;
+        f t;
         loop ()
-      | _ -> begin
-        match (next_completion, next_arrival) with
-        | Some (tc, _), Some qa when tc <= qa.Query.arrival ->
-          let tc, sid = Heap.pop_exn t.completions in
-          t.now <- tc;
-          finish_one t.servers.(sid);
-          loop ()
-        | Some _, Some qa | None, Some qa ->
-          t.next_arrival <- t.next_arrival + 1;
-          t.now <- qa.Query.arrival;
-          arrive qa;
-          loop ()
-        | Some _, None ->
-          let tc, sid = Heap.pop_exn t.completions in
-          t.now <- tc;
-          finish_one t.servers.(sid);
-          loop ()
-        | None, None -> ()
       end
-    end
+      else begin
+        match tick with
+        | Some (next_tick, interval, f) when !next_tick <= te ->
+          t.now <- !next_tick;
+          next_tick := !next_tick +. interval;
+          if obs_on then begin
+            Obs.Trace.begin_span tr ~cat:"sim"
+              ~args:[ ("sim_t", Obs.Trace.F t.now) ]
+              "tick";
+            f t;
+            Obs.Trace.end_span tr ()
+          end
+          else f t;
+          loop ()
+        | _ -> begin
+          match (next_completion, next_arrival) with
+          | Some (tc, _, _), Some qa when tc <= qa.Query.arrival ->
+            pop_completion ();
+            loop ()
+          | Some _, Some qa | None, Some qa ->
+            t.next_arrival <- t.next_arrival + 1;
+            t.now <- qa.Query.arrival;
+            arrive qa;
+            loop ()
+          | Some _, None ->
+            pop_completion ();
+            loop ()
+          | None, None -> ()
+        end
+      end
   in
   loop ()

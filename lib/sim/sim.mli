@@ -24,17 +24,25 @@ type running = {
 
 (** Pool-membership life cycle: [Booting until] servers are pool
     members but accept no work before [until]; [Draining] servers
-    accept no new work and become [Retired] once they hold none. *)
-type server_state = Booting of float | Active | Draining | Retired
+    accept no new work and become [Retired] once they hold none;
+    [Down] servers crashed and hold no work but still occupy a
+    machine until {!restore_server} (repair) or {!retire_server}
+    (give up). *)
+type server_state = Booting of float | Active | Draining | Down | Retired
 
 type server = {
   sid : int;
-  speed : float;  (** processing rate; execution takes size/speed *)
+  mutable speed : float;
+      (** current processing rate; execution takes size/speed. Mutated
+          only through {!set_speed}/{!degrade_server}/{!restore_server}. *)
+  nominal : float;  (** the provisioned rate ({!restore_server} returns to it) *)
   mutable running : running option;
   buffer : Query.t Deque.t;  (** arrival order, oldest first *)
   mutable est_backlog : float;
       (** sum of buffered [est_size] (raw, not speed-scaled) *)
   mutable state : server_state;
+  mutable run_token : int;
+      (** internal: completion-heap entry validity token *)
 }
 
 (** Per-server life-cycle notifications (consumed by incremental
@@ -46,7 +54,10 @@ type server = {
     emit [Scaled_up] when a server joins, [Draining] when retirement
     begins (a redistributed buffer re-enters through the dispatcher,
     emitting fresh [Enqueued]/[Started] on the targets) and [Retired]
-    when the server leaves for good. *)
+    when the server leaves for good. Fault transitions emit [Crashed]
+    (any per-server scheduler state is void; orphans leave through
+    {!crash_server}'s return value, without [Dropped] events),
+    [Degraded] (mid-run service-rate change) and [Restored]. *)
 type server_event =
   | Started of Query.t
   | Enqueued of Query.t
@@ -56,6 +67,9 @@ type server_event =
   | Scaled_up
   | Draining
   | Retired
+  | Crashed
+  | Degraded of float  (** the new service rate *)
+  | Restored
 
 type t
 
@@ -102,9 +116,64 @@ val add_server : ?speed:float -> ?boot_delay:float -> t -> int
     buffered queries re-enter the dispatcher, otherwise it works its
     own buffer off. Emits [Draining] now and [Retired] once the server
     holds no work (immediately when idle). Idempotent on draining or
-    retired servers. Raises [Invalid_argument] if no other server
-    would accept work. *)
+    retired servers ([Booting] and [Down] servers hold no work and
+    retire immediately). Raises [Invalid_argument] if no other server
+    would accept work.
+
+    A redistributed query that the dispatcher then declines
+    ([target = None]) is recorded as a {e rejection} — counted in
+    [Metrics.rejected_count], reported to [on_dispatch] — exactly as
+    if it had just arrived. Redistribution never silently loses
+    queries. *)
 val retire_server : ?redistribute:bool -> t -> int -> unit
+
+(** {2 Fault transitions}
+
+    Non-graceful counterparts to the drain protocol, driven by
+    [Fault] injectors (or tests) from [?timers] callbacks. *)
+
+(** Crash server [sid]: the running query (if any) is killed — its
+    completion-heap entry is lazily invalidated — the buffer is
+    cleared, [est_backlog] zeroed, and the orphaned queries (running
+    first, then buffer in arrival order) are {e returned} to the
+    caller, who decides their fate: re-inject via {!reinject} (as
+    [Query.retried] copies, keeping the SLA clock) or account them
+    with [Metrics.record_lost]. Emits [Crashed]; the server lands in
+    [Down] at its nominal speed ([Draining] servers give up and
+    retire instead, emitting [Crashed] then [Retired]). Crashing a
+    [Down] or [Retired] server is a no-op returning []. The caller is
+    responsible for not crashing the last dispatchable server when a
+    workload remains (dispatchers raise when no server accepts
+    work). *)
+val crash_server : t -> int -> Query.t list
+
+(** Change server [sid]'s service rate mid-run (brownout / recovery).
+    The running query's remaining work is rescaled so its completion
+    time stays consistent with the work already done at the old
+    speed; [est_backlog] needs no adjustment (it is raw size, not
+    speed-scaled — [est_free_at]/[est_work_left] pick the new speed
+    up automatically). Emits [Restored] when [speed] equals the
+    server's nominal rate, [Degraded speed] otherwise. No-op on
+    [Down]/[Retired] servers or when the speed is unchanged. Raises
+    [Invalid_argument] on non-positive [speed]. *)
+val set_speed : t -> int -> speed:float -> unit
+
+(** [degrade_server t sid ~factor] is [set_speed] to
+    [factor *. nominal]. *)
+val degrade_server : t -> int -> factor:float -> unit
+
+(** Repair server [sid]: a [Down] server rejoins the pool [Active] at
+    its nominal speed (emitting [Restored]); a degraded
+    [Active]/[Draining] server returns to nominal speed (via
+    {!set_speed}). No-op otherwise. *)
+val restore_server : t -> int -> unit
+
+(** Re-enter a query through the dispatcher mid-run — crash retries
+    ride the same path as drain redistribution: the dispatcher
+    decides the target, [on_dispatch] observes the decision, and a
+    declined query is recorded as a rejection. Only callable while
+    {!run} is live (raises [Invalid_argument] otherwise). *)
+val reinject : t -> Query.t -> unit
 
 (** Estimated time the server finishes its current query (now if
     idle). *)
@@ -132,7 +201,12 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
     [ticker = (interval, f)] invokes [f] at every multiple of
     [interval] that precedes a remaining arrival or completion —
     elastic controllers call {!add_server}/{!retire_server} from
-    there. [n_servers] is the initial pool size.
+    there. [timers] is a sorted (by time, non-negative) array of
+    one-shot callbacks fired exactly at their instants — before any
+    tick, arrival or completion at the same time — while workload
+    events remain; fault injectors call
+    {!crash_server}/{!degrade_server}/{!restore_server} from there.
+    [n_servers] is the initial pool size.
 
     [obs] (default {!Obs.noop}) collects run-level observability:
     counters [sim.arrivals] / [sim.completions] / [sim.dropped] /
@@ -148,6 +222,7 @@ val run :
   ?speeds:float array ->
   ?drop_policy:(now:float -> Query.t -> bool) ->
   ?ticker:float * (t -> unit) ->
+  ?timers:(float * (t -> unit)) array ->
   queries:Query.t array ->
   n_servers:int ->
   pick_next:pick_next ->

@@ -1,7 +1,13 @@
 (* A query as the framework sees it: arrival time, (estimated and
    actual) execution time, and its SLA. All decision making uses the
    estimate [est_size]; the simulator charges the actual [size]
-   (Sec 7.5 robustness experiments make the two differ). *)
+   (Sec 7.5 robustness experiments make the two differ).
+
+   [retries] counts how many times the query has been re-injected
+   after a server crash killed it. The retry copy keeps the original
+   [arrival]: the SLA clock never resets, so stepwise profit keeps
+   bleeding while the query waits for another slot (the paper's
+   response time is always measured from first arrival). *)
 
 type t = {
   id : int;
@@ -9,14 +15,18 @@ type t = {
   size : float;
   est_size : float;
   sla : Sla.t;
+  retries : int;
 }
 
-let make ?est_size ~id ~arrival ~size ~sla () =
+let make ?est_size ?(retries = 0) ~id ~arrival ~size ~sla () =
   if size < 0.0 then invalid_arg "Query.make: size must be non-negative";
   if arrival < 0.0 then invalid_arg "Query.make: arrival must be non-negative";
+  if retries < 0 then invalid_arg "Query.make: retries must be non-negative";
   let est_size = Option.value est_size ~default:size in
   if est_size < 0.0 then invalid_arg "Query.make: est_size must be non-negative";
-  { id; arrival; size; est_size; sla }
+  { id; arrival; size; est_size; sla; retries }
+
+let retried t = { t with retries = t.retries + 1 }
 
 (* Absolute deadline of level [k] of [t.sla]. *)
 let deadline t ~bound = t.arrival +. bound
@@ -33,5 +43,6 @@ let ideal_profit t = Sla.max_gain t.sla
 let compare_by_id a b = Int.compare a.id b.id
 
 let pp ppf t =
-  Fmt.pf ppf "q%d(arr=%g size=%g est=%g %a)" t.id t.arrival t.size t.est_size
-    Sla.pp t.sla
+  Fmt.pf ppf "q%d(arr=%g size=%g est=%g %a%t)" t.id t.arrival t.size t.est_size
+    Sla.pp t.sla (fun ppf ->
+      if t.retries > 0 then Fmt.pf ppf " retry=%d" t.retries)

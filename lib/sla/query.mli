@@ -11,13 +11,24 @@ type t = private {
   size : float;  (** actual execution time *)
   est_size : float;  (** execution time visible to decision makers *)
   sla : Sla.t;
+  retries : int;
+      (** crash re-injections so far; the SLA clock still runs from
+          [arrival] (see {!retried}) *)
 }
 
 (** [make ~id ~arrival ~size ~sla ()] builds a query; [est_size]
-    defaults to [size]. Raises [Invalid_argument] on negative times. *)
+    defaults to [size] and [retries] to [0]. Raises
+    [Invalid_argument] on negative times. *)
 val make :
-  ?est_size:float -> id:int -> arrival:float -> size:float -> sla:Sla.t ->
-  unit -> t
+  ?est_size:float -> ?retries:int -> id:int -> arrival:float -> size:float ->
+  sla:Sla.t -> unit -> t
+
+(** The retry copy a crashed query re-enters the dispatcher as:
+    identical except [retries] is incremented. Crucially the original
+    [arrival] is kept, so deadlines, profit and response time keep
+    being measured from the first arrival — a crash never resets the
+    SLA clock. *)
+val retried : t -> t
 
 (** Absolute deadline for an SLA level bound. *)
 val deadline : t -> bound:float -> float

@@ -23,6 +23,22 @@ let split t =
   (* Derive an independent stream: one draw seeds the child. *)
   { state = next_int64 t }
 
+(* Same avalanche as [next_int64]'s finalizer, as a pure function. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split_key t ~key =
+  (* Keyed sub-seeding: the child state is a hash of (parent state,
+     key). Unlike [split], the parent is NOT advanced, so handing out a
+     keyed stream cannot perturb any draw the parent makes later —
+     components gated behind a flag (fault injection) can take their
+     stream without shifting the workload stream. [key + 1] keeps
+     key 0 from collapsing into the parent's own next state. *)
+  let salt = Int64.mul golden_gamma (Int64.of_int (key + 1)) in
+  { state = mix64 (Int64.add (Int64.logxor t.state salt) golden_gamma) }
+
 let bits53 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
 
 (* Uniform float in [0, 1). *)

@@ -18,6 +18,15 @@ val copy : t -> t
     child stream. *)
 val split : t -> t
 
+(** [split_key t ~key] returns an independent child stream derived
+    from [t]'s current state and [key], WITHOUT advancing [t]: the
+    parent's subsequent draws are identical whether or not the child
+    was taken. Distinct keys give distinct streams; equal (state, key)
+    pairs give equal streams. Use this when an optional component
+    (e.g. fault injection) must not perturb the streams of the
+    components that are always on. *)
+val split_key : t -> key:int -> t
+
 (** Raw 64-bit draw. *)
 val next_int64 : t -> int64
 

@@ -157,7 +157,8 @@ let run_instrumented ~queries ~config ~policy ~n_servers =
       if Hashtbl.mem drained sid || Hashtbl.mem retired sid then
         violations := (sid, now) :: !violations
     | Sim.Dropped q -> dropped.(q.Query.id) <- dropped.(q.Query.id) + 1
-    | Sim.Finished _ | Sim.Scaled_up -> ());
+    | Sim.Finished _ | Sim.Scaled_up -> ()
+    | Sim.Crashed | Sim.Degraded _ | Sim.Restored -> ());
     Elastic.on_server_event c ~sid ~now ev;
     match hook with Some h -> h ~sid ~now ev | None -> ()
   in

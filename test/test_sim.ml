@@ -407,6 +407,32 @@ let test_retire_would_empty_pool () =
   check_bool "draining the last accepting server raises" true
     (probe_raises (fun sim -> Sim.retire_server sim 0))
 
+(* Satellite guarantee (sim.mli, retire_server): a redistributed query
+   the dispatcher declines is recorded as a REJECTION — never silently
+   lost. Every arrived query must show up in exactly one metric. *)
+let test_retire_redistribute_reject_is_rejection () =
+  let metrics = Metrics.create ~warmup_id:0 in
+  let retired = ref false in
+  let dispatch sim (q : Query.t) =
+    if q.Query.arrival >= 3.0 && not !retired then begin
+      retired := true;
+      (* Server 0 is mid-query with two buffered victims. *)
+      Sim.retire_server sim 0
+    end;
+    if !retired && q.Query.id <= 2 then
+      (* Decline the redistributed buffer of server 0. *)
+      { Sim.target = None; est_delta = None }
+    else { Sim.target = Some (if !retired then 1 else 0); est_delta = None }
+  in
+  let queries =
+    [| mk 0 0.0 10.0; mk 1 1.0 1.0; mk 2 2.0 1.0; mk 3 3.0 1.0 |]
+  in
+  Sim.run ~queries ~n_servers:2 ~pick_next:fcfs_pick ~dispatch ~metrics ();
+  check_int "q0 and q3 complete" 2 (Metrics.completed_count metrics);
+  check_int "the declined redistribution is two rejections" 2
+    (Metrics.rejected_count metrics);
+  check_int "nothing lost" 0 (Metrics.lost_count metrics)
+
 let test_dispatch_to_non_accepting () =
   (* Target a freshly added server that is still booting. *)
   let first = ref true in
@@ -529,6 +555,8 @@ let () =
             test_retire_unknown_server;
           Alcotest.test_case "retire would empty pool" `Quick
             test_retire_would_empty_pool;
+          Alcotest.test_case "redistribute-reject is a rejection" `Quick
+            test_retire_redistribute_reject_is_rejection;
           Alcotest.test_case "dispatch to non-accepting server" `Quick
             test_dispatch_to_non_accepting;
           Alcotest.test_case "negative scheduler index" `Quick

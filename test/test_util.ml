@@ -29,6 +29,25 @@ let test_prng_split_independent () =
   let ys = Array.init 32 (fun _ -> Prng.float child) in
   check_bool "split streams differ" true (xs <> ys)
 
+let test_prng_split_key_no_perturbation () =
+  (* The whole point of [split_key]: taking a keyed child must not
+     shift a single draw of the parent — a component gated behind a
+     flag (fault injection) can take its stream without perturbing
+     the always-on workload stream. *)
+  let a = Prng.create 7 and b = Prng.create 7 in
+  let _child = Prng.split_key b ~key:3 in
+  for _ = 1 to 64 do
+    check_float "parent stream untouched" (Prng.float a) (Prng.float b)
+  done
+
+let test_prng_split_key_streams () =
+  let parent = Prng.create 7 in
+  let draw key = Array.init 16 (fun _ -> Prng.float (Prng.split_key parent ~key)) in
+  check_bool "same key reproduces" true (draw 5 = draw 5);
+  check_bool "distinct keys diverge" true (draw 1 <> draw 2);
+  check_bool "child differs from parent" true
+    (draw 0 <> Array.init 16 (fun _ -> Prng.float (Prng.copy parent)))
+
 let test_prng_copy () =
   let a = Prng.create 11 in
   ignore (Prng.float a);
@@ -561,6 +580,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "split_key leaves parent untouched" `Quick
+            test_prng_split_key_no_perturbation;
+          Alcotest.test_case "split_key keyed streams" `Quick
+            test_prng_split_key_streams;
           Alcotest.test_case "copy" `Quick test_prng_copy;
           Alcotest.test_case "float range" `Quick test_prng_float_range;
           Alcotest.test_case "float_pos range" `Quick test_prng_float_pos_range;
