@@ -124,7 +124,7 @@ let timed_run ~queries ~scheduler ~dispatcher =
   let best = ref infinity in
   Gc.compact ();
   for _ = 1 to 3 do
-    let metrics = Metrics.create ~warmup_id:0 in
+    let metrics = Metrics.create ~warmup_id:0 () in
     let pick_next, hook = Schedulers.instantiate scheduler in
     let pick ~now buffer =
       if Array.length buffer > !max_buffer then max_buffer := Array.length buffer;
@@ -190,7 +190,7 @@ let timed_run_obs ~obs ~queries =
   let best = ref infinity in
   Gc.compact ();
   for _ = 1 to 3 do
-    let metrics = Metrics.create ~warmup_id:0 in
+    let metrics = Metrics.create ~warmup_id:0 () in
     let pick_next, hook =
       Schedulers.instantiate ~obs Schedulers.fcfs_sla_tree_incr
     in
@@ -275,7 +275,7 @@ let timed_run_faults ~make_injector ~queries ~n_servers =
   let best = ref infinity in
   Gc.compact ();
   for _ = 1 to 3 do
-    let metrics = Metrics.create ~warmup_id:0 in
+    let metrics = Metrics.create ~warmup_id:0 () in
     let pick_next, hook =
       Schedulers.instantiate Schedulers.fcfs_sla_tree_incr
     in
@@ -373,6 +373,64 @@ let run_elastic scale =
   Fmt.pr "four runs in %.1f ms@.@." wall_ms;
   (wall_ms, rows)
 
+(* Part 1e — the domain-parallel experiment runner: the whole Table 2
+   grid timed serial and on 2 / 4 worker domains, plus the check that
+   underwrites the determinism contract — every cell of every parallel
+   run must be [Float.equal] to its serial counterpart. [Sys.time] sums
+   CPU time across domains, so this one section times wall clock. *)
+
+type parallel_bench = {
+  par_cells : int;
+  par_serial_ms : float;
+  par_runs : (int * float * bool) list;  (* jobs, wall ms, cells identical *)
+  par_identical : bool;
+  par_cores : int;
+}
+
+let wall_table2 scale =
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  let cells = Table2.compute scale in
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (ms, cells)
+
+let run_parallel scale =
+  Fmt.pr "=== parallel: Table 2 grid, serial vs worker domains ===@.";
+  let serial_ms, serial_cells = wall_table2 scale in
+  let runs =
+    List.map
+      (fun jobs ->
+        Parallel.set_jobs jobs;
+        let ms, cells = wall_table2 scale in
+        Parallel.set_jobs 1;
+        let identical =
+          List.length cells = List.length serial_cells
+          && List.for_all2
+               (fun (a : Table2.cell) (b : Table2.cell) ->
+                 Float.equal a.Table2.avg_loss b.Table2.avg_loss)
+               serial_cells cells
+        in
+        (jobs, ms, identical))
+      [ 2; 4 ]
+  in
+  let par_identical = List.for_all (fun (_, _, ok) -> ok) runs in
+  let par_cores = Domain.recommended_domain_count () in
+  Fmt.pr "%d cells on %d core(s); serial: %.1f ms@."
+    (List.length serial_cells) par_cores serial_ms;
+  List.iter
+    (fun (jobs, ms, ok) ->
+      Fmt.pr "-j %d: %.1f ms (%.2fx)%s@." jobs ms (serial_ms /. ms)
+        (if ok then "" else " — CELLS DIFFER FROM SERIAL"))
+    runs;
+  Fmt.pr "cells bit-identical across worker counts: %b@.@." par_identical;
+  {
+    par_cells = List.length serial_cells;
+    par_serial_ms = serial_ms;
+    par_runs = runs;
+    par_identical;
+    par_cores;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_sim.json). Hand-rolled writer: the
    schema is flat and the toolchain has no JSON dependency. *)
@@ -394,7 +452,7 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults =
+let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults ~parallel =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -478,7 +536,28 @@ let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults =
   add
     (Printf.sprintf "    \"empty_delta_pct\": %s\n"
        (json_float faults.fault_empty_delta_pct));
-  add "  }\n}\n";
+  add "  },\n";
+  add "  \"parallel\": {\n";
+  add (Printf.sprintf "    \"cells\": %d,\n" parallel.par_cells);
+  add (Printf.sprintf "    \"cores\": %d,\n" parallel.par_cores);
+  add
+    (Printf.sprintf "    \"serial_ms\": %s,\n"
+       (json_float parallel.par_serial_ms));
+  add
+    (Printf.sprintf "    \"bit_identical\": %b,\n" parallel.par_identical);
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i (jobs, ms, identical) ->
+      add
+        (Printf.sprintf
+           "      {\"jobs\": %d, \"ms\": %s, \"speedup\": %s, \
+            \"identical\": %b}%s\n"
+           jobs (json_float ms)
+           (json_float (parallel.par_serial_ms /. ms))
+           identical
+           (if i = List.length parallel.par_runs - 1 then "" else ",")))
+    parallel.par_runs;
+  add "    ]\n  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -499,9 +578,10 @@ let () =
   let obs = run_obs_overhead scale in
   let faults = run_faults scale in
   let elastic = run_elastic scale in
+  let parallel = run_parallel scale in
   let micro = run_micro () in
   emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic ~obs
-    ~faults;
+    ~faults ~parallel;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

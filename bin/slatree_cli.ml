@@ -20,12 +20,31 @@ let resolve_scale = function
     | None -> `Error |> ignore; Exp_scale.default
   end
 
+(* -j / SLATREE_JOBS. Deliberately prints nothing: report output must
+   be byte-identical whatever the worker count (the determinism
+   contract, see EXPERIMENTS.md). *)
+let jobs_arg =
+  let doc =
+    "Run independent experiment cells on $(docv) worker domains (default 1 = \
+     serial; overrides $(b,SLATREE_JOBS)). Reported numbers are bit-identical \
+     to the serial run whatever $(docv) is."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let setup_jobs jobs =
+  match Parallel.setup ?jobs () with
+  | () -> Ok ()
+  | exception Invalid_argument e -> Error e
+
 let print_scale scale =
   Fmt.pf ppf "scale: %s (%d queries, %d warm-up, %d repeats)@."
     (Exp_scale.name scale) scale.Exp_scale.n_queries scale.Exp_scale.warmup
     scale.Exp_scale.repeats
 
-let run_table n scale_opt =
+let run_table n scale_opt jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let scale = resolve_scale scale_opt in
   print_scale scale;
   match n with
@@ -37,7 +56,10 @@ let run_table n scale_opt =
   | 7 -> `Ok (Table7.run ppf ())
   | _ -> `Error (false, "table number must be in 2..7")
 
-let run_fig n scale_opt data_dir =
+let run_fig n scale_opt data_dir jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let scale = resolve_scale scale_opt in
   let seed = scale.Exp_scale.base_seed in
   let maybe_export f =
@@ -58,7 +80,10 @@ let run_fig n scale_opt data_dir =
     `Ok ()
   | _ -> `Error (false, "figure number must be 15 or 17")
 
-let run_all scale_opt =
+let run_all scale_opt jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let scale = resolve_scale scale_opt in
   print_scale scale;
   Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
@@ -71,7 +96,10 @@ let run_all scale_opt =
   Fig17.run ppf ~seed:scale.Exp_scale.base_seed ();
   `Ok ()
 
-let run_ablation which scale_opt =
+let run_ablation which scale_opt jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let scale = resolve_scale scale_opt in
   print_scale scale;
   match which with
@@ -128,7 +156,10 @@ let write_timeseries_output ts ~path =
     path
 
 let run_elastic compare policy servers scale_opt trace metrics timeseries
-    faults =
+    faults jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
   let scale = resolve_scale scale_opt in
   print_scale scale;
   if compare then `Ok (Exp_elastic.run ppf scale)
@@ -148,10 +179,13 @@ let run_elastic compare policy servers scale_opt trace metrics timeseries
          `Ok ()
        with Invalid_argument e -> `Error (false, e))
 
-let run_validate scale_opt =
-  let scale = resolve_scale scale_opt in
-  print_scale scale;
-  `Ok (Validation.run ppf scale)
+let run_validate scale_opt jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+    let scale = resolve_scale scale_opt in
+    print_scale scale;
+    `Ok (Validation.run ppf scale)
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -274,7 +308,7 @@ let run_trace_replay file scheduler_name dispatcher_name servers warmup =
     (match (scheduler_of_string ~rate scheduler_name, dispatcher_of_string ~rate dispatcher_name) with
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok scheduler, Ok dispatcher ->
-      let metrics = Metrics.create ~warmup_id:warmup in
+      let metrics = Metrics.create ~warmup_id:warmup () in
       let pick_next, hook = Schedulers.instantiate scheduler in
       Sim.run ?on_server_event:hook ~queries ~n_servers:servers ~pick_next
         ~dispatch:(Dispatchers.instantiate dispatcher)
@@ -351,7 +385,7 @@ let run_sim kind profile load servers n seed sigma2 scheduler_name
     | Error e, _ | _, Error e -> `Error (false, e)
     | Ok scheduler, Ok dispatcher ->
       let obs = obs_of_outputs ~trace ~metrics:metrics_out in
-      let metrics = Metrics.create ~warmup_id:warmup in
+      let metrics = Metrics.create ~warmup_id:warmup () in
       let pick_next, hook = Schedulers.instantiate ~obs scheduler in
       let dispatch = Dispatchers.instantiate ~obs dispatcher in
       let injector =
@@ -467,7 +501,7 @@ let table_cmd =
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate a table from the paper's evaluation")
-    Term.(ret (const run_table $ n $ scale_arg))
+    Term.(ret (const run_table $ n $ scale_arg $ jobs_arg))
 
 let fig_cmd =
   let n =
@@ -479,12 +513,12 @@ let fig_cmd =
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate a figure from the paper's evaluation")
-    Term.(ret (const run_fig $ n $ scale_arg $ data_dir))
+    Term.(ret (const run_fig $ n $ scale_arg $ data_dir $ jobs_arg))
 
 let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure")
-    Term.(ret (const run_all $ scale_arg))
+    Term.(ret (const run_all $ scale_arg $ jobs_arg))
 
 let demo_cmd =
   let verbose =
@@ -506,7 +540,7 @@ let ablation_cmd =
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Run an ablation study beyond the paper's tables")
-    Term.(ret (const run_ablation $ which $ scale_arg))
+    Term.(ret (const run_ablation $ which $ scale_arg $ jobs_arg))
 
 let elastic_cmd =
   let compare =
@@ -529,7 +563,8 @@ let elastic_cmd =
     Term.(
       ret
         (const run_elastic $ compare $ policy $ servers $ scale_arg
-       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg $ faults_arg))
+       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg $ faults_arg
+       $ jobs_arg))
 
 let sim_cmd =
   let kind =
@@ -581,10 +616,13 @@ let sim_cmd =
        $ scheduler $ dispatcher $ warmup $ trace_file_arg $ metrics_file_arg
        $ timeseries_file_arg $ faults_arg))
 
-let run_resilience scale_opt =
-  let scale = resolve_scale scale_opt in
-  print_scale scale;
-  `Ok (Exp_resilience.run ppf scale)
+let run_resilience scale_opt jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+    let scale = resolve_scale scale_opt in
+    print_scale scale;
+    `Ok (Exp_resilience.run ppf scale)
 
 let resilience_cmd =
   Cmd.v
@@ -592,13 +630,13 @@ let resilience_cmd =
        ~doc:
          "Chaos experiment: RR / LWL / SLA-tree dispatch and static vs \
           autoscaled pools under fault-free, moderate and severe fault plans")
-    Term.(ret (const run_resilience $ scale_arg))
+    Term.(ret (const run_resilience $ scale_arg $ jobs_arg))
 
 let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Check the simulator against closed-form M/M/m results")
-    Term.(ret (const run_validate $ scale_arg))
+    Term.(ret (const run_validate $ scale_arg $ jobs_arg))
 
 let trace_generate_cmd =
   let out =

@@ -26,7 +26,7 @@ let workload () =
 let run ~plan =
   let queries = workload () in
   let injector = Fault.create ~plan () in
-  let metrics = Metrics.create ~warmup_id:(n_queries / 5) in
+  let metrics = Metrics.create ~warmup_id:(n_queries / 5) () in
   let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
   let on_server_event ~sid ~now ev =
     Fault.on_server_event injector ~sid ~now ev;

@@ -13,7 +13,7 @@ let n_queries = 8_000
 let warmup = 4_000
 
 let run name dispatcher scheduler queries =
-  let metrics = Metrics.create ~warmup_id:warmup in
+  let metrics = Metrics.create ~warmup_id:warmup () in
   Sim.run ~queries ~n_servers
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(Dispatchers.instantiate dispatcher)
@@ -50,7 +50,7 @@ let () =
   (* Admission control variant: refuse queries that cost more than
      they bring. *)
   Fmt.pr "@.With admission control (reject queries whose best delta is negative):@.";
-  let metrics = Metrics.create ~warmup_id:warmup in
+  let metrics = Metrics.create ~warmup_id:warmup () in
   Sim.run ~queries ~n_servers
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(Dispatchers.instantiate (Dispatchers.sla_tree ~admission:true planner))

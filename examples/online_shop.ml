@@ -13,7 +13,7 @@ let n_queries = 8_000
 let warmup = 4_000
 
 let run name scheduler queries =
-  let metrics = Metrics.create ~warmup_id:warmup in
+  let metrics = Metrics.create ~warmup_id:warmup () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)

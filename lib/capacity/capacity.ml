@@ -29,7 +29,7 @@ let margin ~now q (d : Sim.decision) =
    here, so they cannot drift apart (and stateful schedulers get their
    per-run server-event hook installed exactly once). *)
 let run_sim ?on_dispatch ~queries ~n_servers ~planner ~scheduler ~warmup_id () =
-  let metrics = Metrics.create ~warmup_id in
+  let metrics = Metrics.create ~warmup_id () in
   let pick_next, hook = Schedulers.instantiate scheduler in
   Sim.run ?on_dispatch ?on_server_event:hook ~queries ~n_servers ~pick_next
     ~dispatch:(Dispatchers.instantiate (Dispatchers.sla_tree planner))

@@ -503,7 +503,7 @@ let run ?(obs = Obs.noop) ?timeseries ?(policy = sla_tree_policy) ?drop_policy
     ?timers ?on_server_event:(extra_hook = fun ~sid:_ ~now:_ _ -> ())
     ~config:cfg ~queries ~n_servers ~warmup_id () =
   let c = create ~obs cfg policy ~initial_servers:n_servers in
-  let metrics = Metrics.create ~warmup_id in
+  let metrics = Metrics.create ~warmup_id () in
   let pick_next, hook =
     Schedulers.instantiate ~obs Schedulers.fcfs_sla_tree_incr
   in

@@ -35,21 +35,21 @@ type sched_cell = {
 }
 
 let sched_compute ?(kinds = Workloads.all_kinds) ?(load = 0.9) (scale : Exp_scale.t) =
+  (* Independent (kind, baseline) cells fan out across the ambient
+     pool in spec order. *)
   List.concat_map
-    (fun kind ->
-      List.map
-        (fun (base_name, base, tree) ->
-          let make_trace_cfg ~seed =
-            Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:1
-              ~n_queries:scale.n_queries ~seed ()
-          in
-          let loss scheduler =
-            Exp_common.avg_loss_over_repeats scale ~make_trace_cfg ~n_servers:1
-              ~scheduler ~dispatcher:Dispatchers.round_robin
-          in
-          { base_name; kind; base_loss = loss base; tree_loss = loss tree })
-        (sched_rows kind))
+    (fun kind -> List.map (fun row -> (kind, row)) (sched_rows kind))
     kinds
+  |> Parallel.map_list (fun (kind, (base_name, base, tree)) ->
+         let make_trace_cfg ~seed =
+           Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:1
+             ~n_queries:scale.n_queries ~seed ()
+         in
+         let loss scheduler =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg ~n_servers:1
+             ~scheduler ~dispatcher:Dispatchers.round_robin
+         in
+         { base_name; kind; base_loss = loss base; tree_loss = loss tree })
 
 let sched_run ppf scale =
   let cells = sched_compute scale in
@@ -73,33 +73,33 @@ type disp_cell = { disp_name : string; kind : Workloads.kind; loss : float }
 
 let disp_compute ?(kinds = [ Workloads.Exp; Workloads.Pareto ]) ?(servers = 5)
     (scale : Exp_scale.t) =
+  (* Independent (kind, dispatcher) cells fan out across the ambient
+     pool in spec order. *)
   List.concat_map
     (fun kind ->
       let rate = Exp_common.cbs_rate kind in
-      let scheduler = Schedulers.cbs_sla_tree ~rate in
       let planner = Planner.cbs ~rate in
-      let dispatchers =
+      List.map
+        (fun dispatcher -> (kind, rate, dispatcher))
         [
           Dispatchers.random ~seed:9;
           Dispatchers.round_robin;
           Sita.for_workload ~seed:11 kind ~classes:servers;
           Dispatchers.lwl;
           Dispatchers.sla_tree planner;
-        ]
-      in
-      List.map
-        (fun dispatcher ->
-          let make_trace_cfg ~seed =
-            Trace.config ~kind ~profile:Workloads.Sla_a ~load:0.9 ~servers
-              ~n_queries:scale.n_queries ~seed ()
-          in
-          let loss =
-            Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
-              ~n_servers:servers ~scheduler ~dispatcher
-          in
-          { disp_name = Dispatchers.name dispatcher; kind; loss })
-        dispatchers)
+        ])
     kinds
+  |> Parallel.map_list (fun (kind, rate, dispatcher) ->
+         let scheduler = Schedulers.cbs_sla_tree ~rate in
+         let make_trace_cfg ~seed =
+           Trace.config ~kind ~profile:Workloads.Sla_a ~load:0.9 ~servers
+             ~n_queries:scale.n_queries ~seed ()
+         in
+         let loss =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+             ~n_servers:servers ~scheduler ~dispatcher
+         in
+         { disp_name = Dispatchers.name dispatcher; kind; loss })
 
 let disp_run ppf scale =
   let cells = disp_compute scale in
@@ -130,38 +130,48 @@ let admission_compute ?(loads = [ 0.9; 1.1; 1.4 ]) (scale : Exp_scale.t) =
   let rate = Exp_common.cbs_rate kind in
   let scheduler = Schedulers.cbs_sla_tree ~rate in
   let planner = Planner.cbs ~rate in
+  (* Independent (load, admission) cells fan out across the ambient
+     pool; per-repeat results come back in repeat order and are folded
+     serially (bit-identical to the serial run). *)
   List.concat_map
-    (fun load ->
-      List.map
-        (fun admission ->
-          let loss = Stats.create ()
-          and profit = Stats.create ()
-          and rejected = ref 0 in
-          for repeat = 0 to scale.repeats - 1 do
-            let cfg =
-              Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:2
-                ~n_queries:scale.n_queries
-                ~seed:(Exp_scale.seed scale ~repeat)
-                ()
-            in
-            let metrics =
-              Exp_common.run_once ~trace_cfg:cfg ~n_servers:2 ~scheduler
-                ~dispatcher:(Dispatchers.sla_tree ~admission planner)
-                ~warmup_id:scale.warmup
-            in
-            Stats.add loss (Metrics.avg_loss metrics);
-            Stats.add profit (Metrics.avg_profit metrics);
-            rejected := !rejected + Metrics.rejected_count metrics
-          done;
-          {
-            load;
-            admission;
-            avg_loss = Stats.mean loss;
-            avg_profit = Stats.mean profit;
-            rejected = !rejected / scale.repeats;
-          })
-        [ false; true ])
+    (fun load -> List.map (fun admission -> (load, admission)) [ false; true ])
     loads
+  |> Parallel.map_list (fun (load, admission) ->
+         let per_repeat =
+           Parallel.map_ordered
+             (fun repeat ->
+               let cfg =
+                 Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:2
+                   ~n_queries:scale.n_queries
+                   ~seed:(Exp_scale.seed scale ~repeat)
+                   ()
+               in
+               let metrics =
+                 Exp_common.run_once ~trace_cfg:cfg ~n_servers:2 ~scheduler
+                   ~dispatcher:(Dispatchers.sla_tree ~admission planner)
+                   ~warmup_id:scale.warmup
+               in
+               ( Metrics.avg_loss metrics,
+                 Metrics.avg_profit metrics,
+                 Metrics.rejected_count metrics ))
+             (Array.init scale.repeats Fun.id)
+         in
+         let loss = Stats.create ()
+         and profit = Stats.create ()
+         and rejected = ref 0 in
+         Array.iter
+           (fun (l, p, r) ->
+             Stats.add loss l;
+             Stats.add profit p;
+             rejected := !rejected + r)
+           per_repeat;
+         {
+           load;
+           admission;
+           avg_loss = Stats.mean loss;
+           avg_profit = Stats.mean profit;
+           rejected = !rejected / scale.repeats;
+         })
 
 let admission_run ppf scale =
   let cells = admission_compute scale in
@@ -187,6 +197,9 @@ type incr_result = {
   rebuilds : int;
 }
 
+(* Stays serial even under [-j]: both strategies are timed with
+   [Sys.time], which measures process-wide CPU, so concurrent runs
+   would corrupt each other's measurements. *)
 let incr_compute ?(buffer_sizes = [ 100; 400; 1600 ]) ~seed () =
   let cycles = 200 in
   List.map
@@ -264,38 +277,48 @@ let predictor_compute (scale : Exp_scale.t) =
   let predictor = Cost_predictor.train ~seed:scale.base_seed () in
   let mape = Cost_predictor.evaluate predictor ~seed:(scale.base_seed + 1) in
   let run ~perfect =
+    (* The trained predictor is only read from here, so repeats fan
+       out across the ambient pool; per-repeat (CBS, CBS+SLA-tree)
+       pairs come back in repeat order and are folded serially. *)
+    let pairs =
+      Parallel.map_ordered
+        (fun repeat ->
+          let queries =
+            Cost_predictor.generate_trace predictor ~profile:Workloads.Sla_b
+              ~load:0.9 ~servers:1 ~n_queries:scale.n_queries
+              ~seed:(Exp_scale.seed scale ~repeat)
+          in
+          let queries =
+            if perfect then
+              Array.map
+                (fun q ->
+                  Query.make ~id:q.Query.id ~arrival:q.Query.arrival
+                    ~size:q.Query.size ~est_size:q.Query.size ~sla:q.Query.sla ())
+                queries
+            else queries
+          in
+          let mean =
+            Array.fold_left (fun acc q -> acc +. q.Query.est_size) 0.0 queries
+            /. Float.of_int (Array.length queries)
+          in
+          let rate = 1.0 /. mean in
+          let loss scheduler =
+            let metrics = Metrics.create ~warmup_id:scale.warmup () in
+            Sim.run ~queries ~n_servers:1
+              ~pick_next:(Schedulers.pick scheduler)
+              ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
+              ~metrics ();
+            Metrics.avg_loss metrics
+          in
+          (loss (Schedulers.cbs ~rate), loss (Schedulers.cbs_sla_tree ~rate)))
+        (Array.init scale.repeats Fun.id)
+    in
     let cbs_acc = Stats.create () and tree_acc = Stats.create () in
-    for repeat = 0 to scale.repeats - 1 do
-      let queries =
-        Cost_predictor.generate_trace predictor ~profile:Workloads.Sla_b
-          ~load:0.9 ~servers:1 ~n_queries:scale.n_queries
-          ~seed:(Exp_scale.seed scale ~repeat)
-      in
-      let queries =
-        if perfect then
-          Array.map
-            (fun q ->
-              Query.make ~id:q.Query.id ~arrival:q.Query.arrival ~size:q.Query.size
-                ~est_size:q.Query.size ~sla:q.Query.sla ())
-            queries
-        else queries
-      in
-      let mean =
-        Array.fold_left (fun acc q -> acc +. q.Query.est_size) 0.0 queries
-        /. Float.of_int (Array.length queries)
-      in
-      let rate = 1.0 /. mean in
-      let loss scheduler =
-        let metrics = Metrics.create ~warmup_id:scale.warmup in
-        Sim.run ~queries ~n_servers:1
-          ~pick_next:(Schedulers.pick scheduler)
-          ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
-          ~metrics ();
-        Metrics.avg_loss metrics
-      in
-      Stats.add cbs_acc (loss (Schedulers.cbs ~rate));
-      Stats.add tree_acc (loss (Schedulers.cbs_sla_tree ~rate))
-    done;
+    Array.iter
+      (fun (c, t) ->
+        Stats.add cbs_acc c;
+        Stats.add tree_acc t)
+      pairs;
     (Stats.mean cbs_acc, Stats.mean tree_acc)
   in
   let p_cbs, p_tree = run ~perfect:true in
@@ -340,7 +363,10 @@ let fairness_compute ?(kind = Workloads.Exp) ?(load = 0.9) (scale : Exp_scale.t)
   let schedulers =
     [ Schedulers.fcfs; Schedulers.fcfs_sla_tree; Schedulers.cbs_sla_tree ~rate ]
   in
-  List.concat_map
+  (* Scheduler cells fan out (each worker owns its Breakdown); the
+     repeats stay serial within a cell because the Breakdown
+     accumulates across them in repeat order. *)
+  Parallel.map_list
     (fun scheduler ->
       let breakdown =
         Breakdown.create ~classify:(classify_sla_b ~mu) ~warmup_id:scale.warmup
@@ -353,7 +379,7 @@ let fairness_compute ?(kind = Workloads.Exp) ?(load = 0.9) (scale : Exp_scale.t)
                ~seed:(Exp_scale.seed scale ~repeat)
                ())
         in
-        let metrics = Metrics.create ~warmup_id:scale.warmup in
+        let metrics = Metrics.create ~warmup_id:scale.warmup () in
         Sim.run
           ~on_complete:(Breakdown.record breakdown)
           ~queries ~n_servers:1
@@ -375,6 +401,7 @@ let fairness_compute ?(kind = Workloads.Exp) ?(load = 0.9) (scale : Exp_scale.t)
           })
         (Breakdown.classes breakdown))
     schedulers
+  |> List.concat
 
 let fairness_run ppf scale =
   let cells = fairness_compute scale in
@@ -403,24 +430,30 @@ let hetero_compute ?(kind = Workloads.Exp) (scale : Exp_scale.t) =
   let scheduler = Schedulers.cbs_sla_tree ~rate in
   let planner = Planner.cbs ~rate in
   let n_servers = Array.length hetero_speeds in
-  List.map
+  (* Dispatcher cells fan out; repeats within a cell come back in
+     repeat order and are folded serially. *)
+  Parallel.map_list
     (fun dispatcher ->
+      let losses =
+        Parallel.map_ordered
+          (fun repeat ->
+            let queries =
+              Trace.generate
+                (Trace.config ~kind ~profile:Workloads.Sla_a ~load:0.9
+                   ~servers:n_servers ~n_queries:scale.n_queries
+                   ~seed:(Exp_scale.seed scale ~repeat)
+                   ())
+            in
+            let metrics = Metrics.create ~warmup_id:scale.warmup () in
+            Sim.run ~speeds:hetero_speeds ~queries ~n_servers
+              ~pick_next:(Schedulers.pick scheduler)
+              ~dispatch:(Dispatchers.instantiate dispatcher)
+              ~metrics ();
+            Metrics.avg_loss metrics)
+          (Array.init scale.repeats Fun.id)
+      in
       let acc = Stats.create () in
-      for repeat = 0 to scale.repeats - 1 do
-        let queries =
-          Trace.generate
-            (Trace.config ~kind ~profile:Workloads.Sla_a ~load:0.9
-               ~servers:n_servers ~n_queries:scale.n_queries
-               ~seed:(Exp_scale.seed scale ~repeat)
-               ())
-        in
-        let metrics = Metrics.create ~warmup_id:scale.warmup in
-        Sim.run ~speeds:hetero_speeds ~queries ~n_servers
-          ~pick_next:(Schedulers.pick scheduler)
-          ~dispatch:(Dispatchers.instantiate dispatcher)
-          ~metrics ();
-        Stats.add acc (Metrics.avg_loss metrics)
-      done;
+      Array.iter (Stats.add acc) losses;
       { h_disp = Dispatchers.name dispatcher; h_loss = Stats.mean acc })
     [ Dispatchers.round_robin; Dispatchers.lwl; Dispatchers.sla_tree planner ]
 
@@ -449,38 +482,45 @@ let drop_compute ?(loads = [ 0.9; 1.1; 1.4 ]) (scale : Exp_scale.t) =
   let kind = Workloads.Exp in
   let rate = Exp_common.cbs_rate kind in
   let scheduler = Schedulers.cbs_sla_tree ~rate in
+  (* Independent (load, drop) cells fan out; per-repeat results come
+     back in repeat order and are folded serially. *)
   List.concat_map
-    (fun load ->
-      List.map
-        (fun drop ->
-          let profit = Stats.create () and dropped = ref 0 in
-          for repeat = 0 to scale.repeats - 1 do
-            let queries =
-              Trace.generate
-                (Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:1
-                   ~n_queries:scale.n_queries
-                   ~seed:(Exp_scale.seed scale ~repeat)
-                   ())
-            in
-            let metrics = Metrics.create ~warmup_id:scale.warmup in
-            let drop_policy =
-              if drop then Some Sim.drop_past_last_deadline else None
-            in
-            Sim.run ?drop_policy ~queries ~n_servers:1
-              ~pick_next:(Schedulers.pick scheduler)
-              ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
-              ~metrics ();
-            Stats.add profit (Metrics.avg_profit metrics);
-            dropped := !dropped + Metrics.dropped_count metrics
-          done;
-          {
-            d_load = load;
-            d_drop = drop;
-            d_avg_profit = Stats.mean profit;
-            d_dropped = !dropped / scale.repeats;
-          })
-        [ false; true ])
+    (fun load -> List.map (fun drop -> (load, drop)) [ false; true ])
     loads
+  |> Parallel.map_list (fun (load, drop) ->
+         let per_repeat =
+           Parallel.map_ordered
+             (fun repeat ->
+               let queries =
+                 Trace.generate
+                   (Trace.config ~kind ~profile:Workloads.Sla_b ~load ~servers:1
+                      ~n_queries:scale.n_queries
+                      ~seed:(Exp_scale.seed scale ~repeat)
+                      ())
+               in
+               let metrics = Metrics.create ~warmup_id:scale.warmup () in
+               let drop_policy =
+                 if drop then Some Sim.drop_past_last_deadline else None
+               in
+               Sim.run ?drop_policy ~queries ~n_servers:1
+                 ~pick_next:(Schedulers.pick scheduler)
+                 ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)
+                 ~metrics ();
+               (Metrics.avg_profit metrics, Metrics.dropped_count metrics))
+             (Array.init scale.repeats Fun.id)
+         in
+         let profit = Stats.create () and dropped = ref 0 in
+         Array.iter
+           (fun (p, d) ->
+             Stats.add profit p;
+             dropped := !dropped + d)
+           per_repeat;
+         {
+           d_load = load;
+           d_drop = drop;
+           d_avg_profit = Stats.mean profit;
+           d_dropped = !dropped / scale.repeats;
+         })
 
 let drop_run ppf scale =
   let cells = drop_compute scale in
@@ -519,6 +559,8 @@ let random_instance rng n =
       let arrival = Prng.float rng *. 30.0 in
       Query.make ~id ~arrival ~size ~sla:(Sla.single_step ~bound ~gain) ())
 
+(* Stays serial even under [-j]: all sizes draw their instances from
+   one sequential rng, so fanning out would change the draws. *)
 let optimality_compute ?(sizes = [ 8; 12 ]) ?(instances = 60) ~seed () =
   let rng = Prng.create seed in
   List.map

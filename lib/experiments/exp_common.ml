@@ -42,23 +42,32 @@ let dispatch_setup kind wl =
    installed here. *)
 let run_once ~trace_cfg ~n_servers ~scheduler ~dispatcher ~warmup_id =
   let queries = Trace.generate trace_cfg in
-  let metrics = Metrics.create ~warmup_id in
+  let metrics = Metrics.create ~warmup_id () in
   let pick_next, hook = Schedulers.instantiate scheduler in
   Sim.run ?on_server_event:hook ~queries ~n_servers ~pick_next
     ~dispatch:(Dispatchers.instantiate dispatcher)
     ~metrics ();
   metrics
 
-(* Average loss per query over the scale's repeats (fresh seed each). *)
+(* Average loss per query over the scale's repeats (fresh seed each).
+   Repeats are independent — each builds its own trace, metrics and
+   scheduler state from its own seed — so they fan out across the
+   ambient [Parallel] pool; the per-repeat losses come back in repeat
+   order and are folded serially, keeping the reported mean
+   bit-identical to the serial run whatever the worker count. *)
 let avg_loss_over_repeats (scale : Exp_scale.t) ~make_trace_cfg ~n_servers
     ~scheduler ~dispatcher =
+  let losses =
+    Parallel.map_ordered
+      (fun repeat ->
+        let trace_cfg = make_trace_cfg ~seed:(Exp_scale.seed scale ~repeat) in
+        let metrics =
+          run_once ~trace_cfg ~n_servers ~scheduler ~dispatcher
+            ~warmup_id:scale.warmup
+        in
+        Metrics.avg_loss metrics)
+      (Array.init scale.repeats Fun.id)
+  in
   let acc = Stats.create () in
-  for repeat = 0 to scale.repeats - 1 do
-    let trace_cfg = make_trace_cfg ~seed:(Exp_scale.seed scale ~repeat) in
-    let metrics =
-      run_once ~trace_cfg ~n_servers ~scheduler ~dispatcher
-        ~warmup_id:scale.warmup
-    in
-    Stats.add acc (Metrics.avg_loss metrics)
-  done;
+  Array.iter (Stats.add acc) losses;
   Stats.mean acc

@@ -95,17 +95,17 @@ let run_one ~queries ~config ~policy ~label ~initial =
 let rows ?(kind = Workloads.Exp) ~(scale : Exp_scale.t) ~seed () =
   let queries, interval = workload ~kind ~scale ~seed in
   let config = elastic_config ~interval in
-  [
-    run_one ~queries ~config ~policy:Elastic.static ~label:"static-small"
-      ~initial:small_servers;
-    run_one ~queries ~config ~policy:Elastic.static ~label:"static-large"
-      ~initial:large_servers;
-    run_one ~queries ~config ~policy:Elastic.sla_tree_policy
-      ~label:"autoscale/SLA-tree" ~initial:small_servers;
-    run_one ~queries ~config
-      ~policy:(Elastic.queue_threshold ())
-      ~label:"autoscale/queue" ~initial:small_servers;
-  ]
+  (* The four policy runs share only the (read-only) query array and
+     immutable policy/config values, so they fan out across the
+     ambient pool; [map_list] keeps row order. *)
+  Parallel.map_list
+    (fun (policy, label, initial) -> run_one ~queries ~config ~policy ~label ~initial)
+    [
+      (Elastic.static, "static-small", small_servers);
+      (Elastic.static, "static-large", large_servers);
+      (Elastic.sla_tree_policy, "autoscale/SLA-tree", small_servers);
+      (Elastic.queue_threshold (), "autoscale/queue", small_servers);
+    ]
 
 (* Single-policy run on the same workload, with the scale event log —
    the CLI's non-compare mode. [faults] is a [Fault.plan_of_spec]

@@ -59,7 +59,7 @@ let dispatchers =
    simulator's timers. *)
 let run_static ?obs ~queries ~warmup_id ~plan ~dispatcher () =
   let injector = Fault.create ?obs ~plan () in
-  let metrics = Metrics.create ~warmup_id in
+  let metrics = Metrics.create ~warmup_id () in
   let pick_next, hook =
     Schedulers.instantiate ?obs Schedulers.fcfs_sla_tree_incr
   in
@@ -138,10 +138,15 @@ let make_row ~pool ~dispatcher ~plan ~baseline_profit results =
         List.fold_left ( +. ) 0.0 l /. Float.of_int (List.length l));
   }
 
-(* The full grid. Within a (pool, dispatcher) group the fault-free
-   cell runs first (once — no randomness to average) and becomes the
-   baseline; each faulted cell averages [scale.repeats] independent
-   plan seeds over the identical workload. *)
+(* The full grid. Each (pool, dispatcher, plan) cell is independent:
+   the fault-free cell runs once (no randomness to average), each
+   faulted cell averages [scale.repeats] independent plan seeds over
+   the identical workload, and every cell's drop is measured against
+   its own group's fault-free profit — resolved after all cells are
+   computed, so cells (and the plan seeds within one) can fan out
+   across the ambient pool. With an enabled [obs] sink every run would
+   append to the same registry and trace ring, so the grid stays
+   serial in that case. *)
 let rows ?obs ~(scale : Exp_scale.t) () =
   let queries = workload ~scale in
   let warmup_id = scale.Exp_scale.warmup in
@@ -152,31 +157,62 @@ let rows ?obs ~(scale : Exp_scale.t) () =
       List.init scale.Exp_scale.repeats (fun repeat ->
           Printf.sprintf "%s:%d" plan (Exp_scale.seed scale ~repeat))
   in
-  let group ~pool ~dispatcher run =
-    let baseline = ref None in
-    List.map
-      (fun plan_name ->
+  let fan : 'a 'b. ('a -> 'b) -> 'a list -> 'b list =
+   fun f l -> if Option.is_some obs then List.map f l else Parallel.map_list f l
+  in
+  let cells =
+    List.concat_map
+      (fun (name, disp) ->
+        List.map
+          (fun plan_name ->
+            ( "static",
+              name,
+              plan_name,
+              fun ~plan ->
+                run_static ?obs ~queries ~warmup_id ~plan ~dispatcher:(disp ()) ()
+            ))
+          plan_specs)
+      dispatchers
+    @ List.map
+        (fun plan_name ->
+          ( "autoscale",
+            "SLA-tree",
+            plan_name,
+            fun ~plan -> run_elastic ?obs ~queries ~warmup_id ~plan ~scale () ))
+        plan_specs
+  in
+  let computed =
+    fan
+      (fun (pool, dname, plan_name, run) ->
         let results =
-          List.map
+          fan
             (fun spec ->
               run ~plan:(Fault.plan_of_spec spec ~horizon ~n_servers:servers))
             (specs_of plan_name)
         in
-        let r =
-          make_row ~pool ~dispatcher ~plan:plan_name
-            ~baseline_profit:!baseline results
-        in
-        if plan_name = "none" then baseline := Some r.profit;
-        r)
-      plan_specs
+        (pool, dname, plan_name, results))
+      cells
   in
-  List.concat_map
-    (fun (name, disp) ->
-      group ~pool:"static" ~dispatcher:name (fun ~plan ->
-          run_static ?obs ~queries ~warmup_id ~plan ~dispatcher:(disp ()) ()))
-    dispatchers
-  @ group ~pool:"autoscale" ~dispatcher:"SLA-tree" (fun ~plan ->
-        run_elastic ?obs ~queries ~warmup_id ~plan ~scale ())
+  (* Mean profit over a cell's results, in the same fold order as
+     [make_row] — the group baseline is its "none" cell's profit. *)
+  let mean_profit results =
+    List.fold_left (fun a (m, _) -> a +. Metrics.total_profit m) 0.0 results
+    /. Float.of_int (List.length results)
+  in
+  List.map
+    (fun (pool, dname, plan_name, results) ->
+      let baseline_profit =
+        if plan_name = "none" then None
+        else
+          List.find_map
+            (fun (p, d, pl, res) ->
+              if p = pool && d = dname && pl = "none" then
+                Some (mean_profit res)
+              else None)
+            computed
+      in
+      make_row ~pool ~dispatcher:dname ~plan:plan_name ~baseline_profit results)
+    computed
 
 let pp_row ppf r =
   Fmt.pf ppf "%-9s %-8s %-8s %9.0f %7.1f%% %8.3f %6.1f%% %4d %7d %3d/%-3d %8s"

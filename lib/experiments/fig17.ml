@@ -51,15 +51,26 @@ let time_decision ~repeats buffer =
   (t1 -. t0) *. 1000.0 /. Float.of_int repeats
 
 let compute ?(buffer_sizes = default_buffer_sizes) ~seed () =
+  (* Buffer construction and the slack-unit count are deterministic and
+     independent per point, so they fan out across the ambient pool.
+     The timing loop stays serial: [Sys.time] measures process-wide
+     CPU, so concurrent timing runs would charge each other's work to
+     every measurement. *)
+  let prepared =
+    Parallel.map_list
+      (fun n ->
+        let buffer = make_buffer ~seed n in
+        let tree = Sla_tree.build ~now:200.0 buffer in
+        let slack_units, _ = Sla_tree.unit_counts tree in
+        (n, buffer, slack_units))
+      buffer_sizes
+  in
   List.map
-    (fun n ->
-      let buffer = make_buffer ~seed n in
+    (fun (n, buffer, slack_units) ->
       let repeats = max 3 (2000 / n) in
       let ms = time_decision ~repeats buffer in
-      let tree = Sla_tree.build ~now:200.0 buffer in
-      let slack_units, _ = Sla_tree.unit_counts tree in
       { buffer_len = n; ms_per_decision = ms; slack_units })
-    buffer_sizes
+    prepared
 
 let export ?buffer_sizes ~dir ~seed () =
   let points = compute ?buffer_sizes ~seed () in

@@ -18,29 +18,30 @@ type cell = {
 
 let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
     ?(loads = default_loads) (scale : Exp_scale.t) =
+  (* Cells are independent, so whole cells fan out across the ambient
+     pool (repeats inside a cell then run serially on their worker);
+     [map_list] returns them in spec order, so the table is identical
+     to the serial run. *)
   List.concat_map
     (fun profile ->
       List.concat_map
         (fun kind ->
           List.concat_map
-            (fun load ->
-              List.map
-                (fun sched ->
-                  let make_trace_cfg ~seed =
-                    Trace.config ~kind ~profile ~load ~servers:1
-                      ~n_queries:scale.n_queries ~seed ()
-                  in
-                  let avg_loss =
-                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
-                      ~n_servers:1
-                      ~scheduler:(Exp_common.scheduler_of sched kind)
-                      ~dispatcher:Dispatchers.round_robin
-                  in
-                  { profile; kind; load; sched; avg_loss })
-                schedulers)
+            (fun load -> List.map (fun sched -> (profile, kind, load, sched)) schedulers)
             loads)
         kinds)
     profiles
+  |> Parallel.map_list (fun (profile, kind, load, sched) ->
+         let make_trace_cfg ~seed =
+           Trace.config ~kind ~profile ~load ~servers:1
+             ~n_queries:scale.n_queries ~seed ()
+         in
+         let avg_loss =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg ~n_servers:1
+             ~scheduler:(Exp_common.scheduler_of sched kind)
+             ~dispatcher:Dispatchers.round_robin
+         in
+         { profile; kind; load; sched; avg_loss })
 
 let to_report ?(loads = default_loads) cells =
   let col_groups =

@@ -19,28 +19,28 @@ type cell = {
 
 let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
     ?(servers = default_servers) (scale : Exp_scale.t) =
+  (* Independent cells fan out across the ambient pool in spec order
+     (see Table2.compute). *)
   List.concat_map
     (fun profile ->
       List.concat_map
         (fun kind ->
           List.concat_map
-            (fun m ->
-              List.map
-                (fun disp ->
-                  let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
-                  let make_trace_cfg ~seed =
-                    Trace.config ~kind ~profile ~load ~servers:m
-                      ~n_queries:scale.n_queries ~seed ()
-                  in
-                  let avg_loss =
-                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
-                      ~n_servers:m ~scheduler ~dispatcher
-                  in
-                  { profile; kind; servers = m; disp; avg_loss })
-                dispatchers)
+            (fun m -> List.map (fun disp -> (profile, kind, m, disp)) dispatchers)
             servers)
         kinds)
     profiles
+  |> Parallel.map_list (fun (profile, kind, m, disp) ->
+         let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
+         let make_trace_cfg ~seed =
+           Trace.config ~kind ~profile ~load ~servers:m
+             ~n_queries:scale.n_queries ~seed ()
+         in
+         let avg_loss =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg ~n_servers:m
+             ~scheduler ~dispatcher
+         in
+         { profile; kind; servers = m; disp; avg_loss })
 
 let to_report ?(servers = default_servers) cells =
   let col_groups =

@@ -21,29 +21,29 @@ let error_of sigma2 =
 
 let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
     ?(sigmas = default_sigmas) (scale : Exp_scale.t) =
+  (* Independent cells fan out across the ambient pool in spec order
+     (see Table2.compute). *)
   List.concat_map
     (fun profile ->
       List.concat_map
         (fun kind ->
           List.concat_map
             (fun sigma2 ->
-              List.map
-                (fun sched ->
-                  let make_trace_cfg ~seed =
-                    Trace.config ~error:(error_of sigma2) ~kind ~profile ~load
-                      ~servers:1 ~n_queries:scale.n_queries ~seed ()
-                  in
-                  let avg_loss =
-                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
-                      ~n_servers:1
-                      ~scheduler:(Exp_common.scheduler_of sched kind)
-                      ~dispatcher:Dispatchers.round_robin
-                  in
-                  { profile; kind; sigma2; sched; avg_loss })
-                schedulers)
+              List.map (fun sched -> (profile, kind, sigma2, sched)) schedulers)
             sigmas)
         kinds)
     profiles
+  |> Parallel.map_list (fun (profile, kind, sigma2, sched) ->
+         let make_trace_cfg ~seed =
+           Trace.config ~error:(error_of sigma2) ~kind ~profile ~load ~servers:1
+             ~n_queries:scale.n_queries ~seed ()
+         in
+         let avg_loss =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg ~n_servers:1
+             ~scheduler:(Exp_common.scheduler_of sched kind)
+             ~dispatcher:Dispatchers.round_robin
+         in
+         { profile; kind; sigma2; sched; avg_loss })
 
 let to_report ?(sigmas = default_sigmas) cells =
   let col_groups =

@@ -19,28 +19,29 @@ type cell = {
 
 let compute ?(profiles = Workloads.all_profiles) ?(kinds = Workloads.all_kinds)
     ?(sigmas = default_sigmas) (scale : Exp_scale.t) =
+  (* Independent cells fan out across the ambient pool in spec order
+     (see Table2.compute). *)
   List.concat_map
     (fun profile ->
       List.concat_map
         (fun kind ->
           List.concat_map
             (fun sigma2 ->
-              List.map
-                (fun disp ->
-                  let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
-                  let make_trace_cfg ~seed =
-                    Trace.config ~error:(Table5.error_of sigma2) ~kind ~profile
-                      ~load ~servers ~n_queries:scale.n_queries ~seed ()
-                  in
-                  let avg_loss =
-                    Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
-                      ~n_servers:servers ~scheduler ~dispatcher
-                  in
-                  { profile; kind; sigma2; disp; avg_loss })
-                dispatchers)
+              List.map (fun disp -> (profile, kind, sigma2, disp)) dispatchers)
             sigmas)
         kinds)
     profiles
+  |> Parallel.map_list (fun (profile, kind, sigma2, disp) ->
+         let dispatcher, scheduler = Exp_common.dispatch_setup disp kind in
+         let make_trace_cfg ~seed =
+           Trace.config ~error:(Table5.error_of sigma2) ~kind ~profile ~load
+             ~servers ~n_queries:scale.n_queries ~seed ()
+         in
+         let avg_loss =
+           Exp_common.avg_loss_over_repeats scale ~make_trace_cfg
+             ~n_servers:servers ~scheduler ~dispatcher
+         in
+         { profile; kind; sigma2; disp; avg_loss })
 
 let to_report ?(sigmas = default_sigmas) cells =
   let col_groups =

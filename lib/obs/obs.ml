@@ -63,6 +63,13 @@ module Registry = struct
     counters : (string, counter) Hashtbl.t;
     gauges : (string, gauge) Hashtbl.t;
     hists : (string, histogram) Hashtbl.t;
+    (* Guards name resolution only: handle *resolution* can happen
+       concurrently when parallel experiment workers instantiate
+       schedulers against the shared [noop] registry, and unguarded
+       [Hashtbl.add] from two domains corrupts the table. Handle
+       *operations* (incr/set/observe) stay lock-free — enabled sinks
+       are only ever used single-domain. *)
+    m : Mutex.t;
   }
 
   let create () =
@@ -70,23 +77,30 @@ module Registry = struct
       counters = Hashtbl.create 32;
       gauges = Hashtbl.create 8;
       hists = Hashtbl.create 8;
+      m = Mutex.create ();
     }
 
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
   let counter t name =
-    match Hashtbl.find_opt t.counters name with
-    | Some c -> c
-    | None ->
-      let c = { c_name = name; c = 0 } in
-      Hashtbl.add t.counters name c;
-      c
+    locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c = 0 } in
+        Hashtbl.add t.counters name c;
+        c)
 
   let gauge t name =
-    match Hashtbl.find_opt t.gauges name with
-    | Some g -> g
-    | None ->
-      let g = { g_name = name; g = 0.0 } in
-      Hashtbl.add t.gauges name g;
-      g
+    locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some g -> g
+      | None ->
+        let g = { g_name = name; g = 0.0 } in
+        Hashtbl.add t.gauges name g;
+        g)
 
   (* Default binning covers 1 ns .. 10 s logarithmically, 10 bins per
      decade — wide enough for any host-side latency this repo times.
@@ -94,12 +108,13 @@ module Registry = struct
      and ignores the shape arguments. *)
   let histogram ?(scale = Histogram.Log10) ?(lo = 1.0) ?(hi = 1e10)
       ?(bins = 100) t name =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-      let h = { h_name = name; h = Histogram.create ~scale ~lo ~hi ~bins } in
-      Hashtbl.add t.hists name h;
-      h
+    locked t (fun () ->
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+        let h = { h_name = name; h = Histogram.create ~scale ~lo ~hi ~bins } in
+        Hashtbl.add t.hists name h;
+        h)
 
   let incr c = c.c <- c.c + 1
   let add c n = c.c <- c.c + n

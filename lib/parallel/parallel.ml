@@ -1,0 +1,194 @@
+exception Nested_parallelism
+
+let max_jobs = 64
+
+(* Worker domains mark themselves via DLS so [run]/[map_ordered] can
+   tell when they are being re-entered from inside a job. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+type pool = {
+  m : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int; (* jobs of the current batch not yet finished *)
+  mutable busy : bool; (* a batch is in flight *)
+  mutable stopped : bool;
+  n_workers : int;
+  mutable workers : unit Domain.t array;
+}
+
+let pool_jobs t = t.n_workers
+
+let worker_loop t () =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.work_available t.m
+    done;
+    if t.stopped && Queue.is_empty t.queue then Mutex.unlock t.m
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      (* Jobs never raise: [run] wraps them so failures land in the
+         per-index error slot instead of killing the domain. *)
+      job ();
+      Mutex.lock t.m;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 || jobs > max_jobs then
+    invalid_arg
+      (Printf.sprintf "Parallel.create: jobs must be in [1, %d], got %d"
+         max_jobs jobs);
+  let t =
+    {
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      busy = false;
+      stopped = false;
+      n_workers = jobs;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init jobs (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stopped in
+  t.stopped <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  if not already then begin
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let run t f arr =
+  if in_worker () then raise Nested_parallelism;
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    Mutex.lock t.m;
+    if t.stopped then begin
+      Mutex.unlock t.m;
+      invalid_arg "Parallel.run: pool is shut down"
+    end;
+    if t.busy then begin
+      Mutex.unlock t.m;
+      invalid_arg "Parallel.run: pool is already running a batch"
+    end;
+    t.busy <- true;
+    t.pending <- n;
+    for i = 0 to n - 1 do
+      Queue.push
+        (fun () ->
+          match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e)
+        t.queue
+    done;
+    Condition.broadcast t.work_available;
+    while t.pending > 0 do
+      Condition.wait t.batch_done t.m
+    done;
+    t.busy <- false;
+    Mutex.unlock t.m;
+    (* The mutex hand-offs above order every slot write before the
+       reads below, so no further synchronisation is needed. If
+       several jobs failed, re-raise the lowest index so the error
+       surfaced does not depend on worker scheduling. *)
+    let first_error = Array.find_opt Option.is_some errors in
+    match first_error with
+    | Some (Some e) -> raise e
+    | _ ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> invalid_arg "Parallel.run: missing result")
+          results
+  end
+
+(* ----- Ambient pool ----------------------------------------------- *)
+
+let current : pool option ref = ref None
+let at_exit_installed = ref false
+
+let set_jobs n =
+  if n < 1 || n > max_jobs then
+    invalid_arg
+      (Printf.sprintf "Parallel.set_jobs: jobs must be in [1, %d], got %d"
+         max_jobs n);
+  (match !current with
+  | Some p ->
+      current := None;
+      shutdown p
+  | None -> ());
+  if n > 1 then begin
+    current := Some (create ~jobs:n);
+    if not !at_exit_installed then begin
+      at_exit_installed := true;
+      at_exit (fun () ->
+          match !current with
+          | Some p ->
+              current := None;
+              shutdown p
+          | None -> ())
+    end
+  end
+
+let jobs () = match !current with Some p -> p.n_workers | None -> 1
+
+let jobs_from_env () =
+  match Sys.getenv_opt "SLATREE_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 && n <= max_jobs -> Some n
+      | _ ->
+          Printf.eprintf
+            "warning: ignoring SLATREE_JOBS=%s (want an integer in [1, %d])\n%!"
+            s max_jobs;
+          None)
+
+let setup ?jobs () =
+  let n =
+    match jobs with
+    | Some n -> n
+    | None -> ( match jobs_from_env () with Some n -> n | None -> 1)
+  in
+  set_jobs n
+
+let serial_map f arr =
+  (* Explicit index loop: the evaluation order of [Array.map] is
+     unspecified, and the determinism contract needs 0..n-1. *)
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- f arr.(i)
+    done;
+    out
+  end
+
+let map_ordered f arr =
+  match !current with
+  | Some p when (not (in_worker ())) && Array.length arr > 1 -> run p f arr
+  | _ -> serial_map f arr
+
+let map_list f l = Array.to_list (map_ordered f (Array.of_list l))

@@ -1,0 +1,84 @@
+(** Fixed-size domain pool with deterministic, submission-ordered
+    reduction.
+
+    The experiment grids are embarrassingly parallel: every cell (and
+    every repeat within a cell) builds its own trace, metrics and
+    scheduler state from an explicit seed, so jobs share nothing but
+    read-only inputs. This module fans such jobs out across stdlib
+    [Domain]s while keeping one hard guarantee:
+
+    {b The determinism contract.} [map_ordered f arr] returns exactly
+    the array the serial [Array.map f arr] would return, with results
+    stored (and therefore reduced by the caller) in submission order.
+    Worker count affects only wall clock — float accumulation order,
+    and with it every reported mean, is bit-identical to the serial
+    run. Exceptions are deterministic too: if several jobs raise, the
+    one with the lowest index is re-raised.
+
+    Two layers:
+
+    - {!create}/{!run}: an explicit pool. [run] from inside a worker
+      of any pool raises {!Nested_parallelism} (it would deadlock the
+      pool on itself).
+    - {!set_jobs}/{!map_ordered}: the ambient pool the experiment
+      layer uses. Inside a worker, or with jobs = 1 (the default),
+      [map_ordered] silently degrades to the serial map — nested
+      fan-outs (a grid parallelising cells whose cells parallelise
+      repeats) run the inner level serially instead of failing. *)
+
+(** Raised by {!run} when called from inside a pool worker. *)
+exception Nested_parallelism
+
+type pool
+
+(** Hard upper bound on [jobs] (the OCaml runtime caps live domains
+    at 128; half of that is far beyond any machine this targets). *)
+val max_jobs : int
+
+(** [create ~jobs] spawns [jobs] worker domains. Raises
+    [Invalid_argument] unless [1 <= jobs <= max_jobs]. *)
+val create : jobs:int -> pool
+
+val pool_jobs : pool -> int
+
+(** [run pool f arr] evaluates [f] on every element on the worker
+    domains and returns the results in submission order (see the
+    determinism contract above). Raises {!Nested_parallelism} from
+    inside a worker, [Invalid_argument] on a shut-down or busy pool. *)
+val run : pool -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Signal the workers to exit and join them. Idempotent. *)
+val shutdown : pool -> unit
+
+(** True on a pool worker domain (any pool). *)
+val in_worker : unit -> bool
+
+(** {1 Ambient pool}
+
+    One process-wide pool for the experiment layer, owned by the main
+    domain. *)
+
+(** [set_jobs n] replaces the ambient pool: [n = 1] (the default
+    state) shuts it down and makes {!map_ordered} serial; [n > 1]
+    spawns a fresh [n]-worker pool. Raises [Invalid_argument] unless
+    [1 <= n <= max_jobs]. *)
+val set_jobs : int -> unit
+
+(** Current ambient width (1 when serial). *)
+val jobs : unit -> int
+
+(** [SLATREE_JOBS] parsed, [None] when unset or malformed (a warning
+    is printed for malformed values). *)
+val jobs_from_env : unit -> int option
+
+(** [setup ?jobs ()] resolves the ambient width: the explicit [jobs]
+    if given, else [SLATREE_JOBS], else 1 — then {!set_jobs} it. *)
+val setup : ?jobs:int -> unit -> unit
+
+(** [map_ordered f arr] over the ambient pool; serial (in index
+    order) when the pool is absent, when called from a worker, or on
+    arrays of fewer than two elements. *)
+val map_ordered : ('a -> 'b) -> 'a array -> 'b array
+
+(** {!map_ordered} over a list (order preserved). *)
+val map_list : ('a -> 'b) -> 'a list -> 'b list

@@ -3,8 +3,12 @@
    deadline is met (Sec 7.1). The first [warmup_id] queries warm the
    system up and are not measured. *)
 
-(* Per-query response times are retained (up to a cap) so percentile
-   statistics can be reported; everything else is O(1) state. *)
+(* Per-query response times are retained so percentile statistics can
+   be reported; everything else is O(1) state. Beyond the cap the
+   retained values form a uniform reservoir sample (Algorithm R) of
+   the whole run, seeded deterministically from [warmup_id] — the old
+   behaviour of keeping only the *first* cap responses made long-run
+   percentiles blind to the entire tail of the workload. *)
 let response_sample_cap = 1_000_000
 
 type t = {
@@ -13,7 +17,10 @@ type t = {
   profit : Stats.t;
   response : Stats.t;
   mutable responses : float array;  (* sample of measured responses *)
-  mutable n_responses : int;
+  mutable n_responses : int;  (* filled slots, <= response_cap *)
+  mutable seen_responses : int;  (* all responses ever pushed *)
+  response_cap : int;
+  rng : Prng.t;  (* reservoir replacement draws; untouched below cap *)
   (* Sorted copy of the first [n_responses] samples, built on the first
      percentile query and reused until the next [push_response]. *)
   mutable sorted_responses : float array option;
@@ -24,8 +31,9 @@ type t = {
   mutable late : int;  (* measured queries that missed their first deadline *)
 }
 
-let create ~warmup_id =
+let create ?(response_cap = response_sample_cap) ~warmup_id () =
   if warmup_id < 0 then invalid_arg "Metrics.create: warmup_id < 0";
+  if response_cap < 1 then invalid_arg "Metrics.create: response_cap < 1";
   {
     warmup_id;
     loss = Stats.create ();
@@ -33,6 +41,9 @@ let create ~warmup_id =
     response = Stats.create ();
     responses = [||];
     n_responses = 0;
+    seen_responses = 0;
+    response_cap;
+    rng = Prng.create (0x5e5e5e + warmup_id);
     sorted_responses = None;
     completed_all = 0;
     rejected = 0;
@@ -44,17 +55,30 @@ let create ~warmup_id =
 let measured q t = q.Query.id >= t.warmup_id
 
 let push_response t r =
-  if t.n_responses < response_sample_cap then begin
+  t.seen_responses <- t.seen_responses + 1;
+  if t.n_responses < t.response_cap then begin
+    (* Below the cap: plain append, no rng draws — byte-identical to
+       the pre-reservoir behaviour for every run that fits. *)
     t.sorted_responses <- None;
     let cap = Array.length t.responses in
     if t.n_responses = cap then begin
-      let ncap = max 256 (cap * 2) in
+      let ncap = min t.response_cap (max 256 (cap * 2)) in
       let a = Array.make ncap 0.0 in
       Array.blit t.responses 0 a 0 t.n_responses;
       t.responses <- a
     end;
     t.responses.(t.n_responses) <- r;
     t.n_responses <- t.n_responses + 1
+  end
+  else begin
+    (* Algorithm R: the k-th response overall replaces a uniformly
+       chosen reservoir slot with probability cap/k, keeping every
+       response seen so far equally likely to be retained. *)
+    let j = Prng.int t.rng t.seen_responses in
+    if j < t.response_cap then begin
+      t.sorted_responses <- None;
+      t.responses.(j) <- r
+    end
   end
 
 let record t q ~completion =

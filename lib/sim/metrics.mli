@@ -4,7 +4,16 @@
 
 type t
 
-val create : warmup_id:int -> t
+(** [create ~warmup_id] starts an empty accounting run.
+
+    [response_cap] (default 1M, exposed for tests) bounds the retained
+    response-time sample: below it every measured response is kept;
+    past it the sample becomes a uniform reservoir (Algorithm R) over
+    the whole run, with replacement draws from a PRNG seeded
+    deterministically from [warmup_id] — so percentiles of long runs
+    reflect the full workload, identical runs stay identical, and runs
+    that fit under the cap are byte-for-byte unchanged. *)
+val create : ?response_cap:int -> warmup_id:int -> unit -> t
 
 val record : t -> Query.t -> completion:float -> unit
 

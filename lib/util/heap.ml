@@ -7,13 +7,18 @@ type 'a t = {
   mutable size : int;
   want : int;
   cmp : 'a -> 'a -> int;
+  (* Same trick as [Deque.filler]: a junk value of type ['a] (the first
+     element ever pushed) used to overwrite vacated slots, so popped
+     elements — queries, closures — are not pinned against the GC for
+     the heap's lifetime. Length 0 until the first push, 1 after. *)
+  mutable filler : 'a array;
 }
 
 (* The backing array is allocated lazily at the first push (there is no
    dummy ['a] to fill it with before that), but at the requested
    [capacity], so a correctly sized heap never regrows. *)
 let create ?(capacity = 16) cmp =
-  { data = [||]; size = 0; want = max capacity 1; cmp }
+  { data = [||]; size = 0; want = max capacity 1; cmp; filler = [||] }
 
 let length t = t.size
 
@@ -55,6 +60,7 @@ let rec sift_down t i =
   end
 
 let push t x =
+  if Array.length t.filler = 0 then t.filler <- [| x |];
   grow t x;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
@@ -75,6 +81,9 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* Slot [t.size] is vacated either way: it held the element we just
+       moved to the root, or (when the heap emptied) the root itself. *)
+    t.data.(t.size) <- t.filler.(0);
     Some top
   end
 
@@ -83,13 +92,28 @@ let pop_exn t =
   | Some x -> x
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
-let clear t = t.size <- 0
+let clear t =
+  if Array.length t.filler > 0 then
+    Array.fill t.data 0 t.size t.filler.(0);
+  t.size <- 0
 
 let to_list t =
   let rec loop acc i = if i < 0 then acc else loop (t.data.(i) :: acc) (i - 1) in
   loop [] (t.size - 1)
 
-let of_list cmp xs =
-  let t = create cmp in
-  List.iter (push t) xs;
-  t
+(* Floyd's bottom-up heapify: O(n) instead of the O(n log n) of n
+   pushes, and the backing array is sized to the list (or the larger
+   requested [capacity]) in a single allocation. *)
+let of_list ?capacity cmp xs =
+  match xs with
+  | [] -> create ?capacity cmp
+  | x :: _ ->
+    let n = List.length xs in
+    let cap = match capacity with Some c -> max (max c 1) n | None -> n in
+    let data = Array.make cap x in
+    List.iteri (fun i v -> data.(i) <- v) xs;
+    let t = { data; size = n; want = cap; cmp; filler = [| x |] } in
+    for i = (n / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t

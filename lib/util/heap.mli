@@ -27,14 +27,21 @@ val peek : 'a t -> 'a option
 
 val peek_exn : 'a t -> 'a
 
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element. The vacated slot in the
+    backing array is overwritten with a junk value so the popped
+    element is not pinned against the GC (same technique as
+    [Deque]'s filler slot). *)
 val pop : 'a t -> 'a option
 
 val pop_exn : 'a t -> 'a
 
+(** Empty the heap, releasing every element reference it held. *)
 val clear : 'a t -> unit
 
 (** Elements in unspecified (heap) order. *)
 val to_list : 'a t -> 'a list
 
-val of_list : ('a -> 'a -> int) -> 'a list -> 'a t
+(** Build a heap from a list in O(n) (Floyd's bottom-up heapify),
+    with the backing array sized to [max capacity (List.length xs)]
+    in a single allocation. *)
+val of_list : ?capacity:int -> ('a -> 'a -> int) -> 'a list -> 'a t

@@ -126,7 +126,10 @@ let render ?(width = 50) ppf t =
   Array.iteri
     (fun i n ->
       let a, b = bin_bounds t i in
-      let bar = String.make (n * width / peak) '#' in
+      (* Non-empty bins always show at least one mark: rounding down to
+         zero would make a small bin indistinguishable from an empty
+         one. *)
+      let bar = String.make (if n > 0 then max 1 (n * width / peak) else 0) '#' in
       Fmt.pf ppf "[%10.4g, %10.4g) %8d %s@." a b n bar)
     t.bins;
   if t.underflow > 0 then Fmt.pf ppf "underflow %d@." t.underflow;

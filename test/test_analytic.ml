@@ -58,7 +58,7 @@ let test_mmm_tail_matches_simulation_m1 () =
       (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load ~servers:1
          ~n_queries:12_000 ~seed:77 ())
   in
-  let metrics = Metrics.create ~warmup_id:4_000 in
+  let metrics = Metrics.create ~warmup_id:4_000 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(fun ~now:_ _ -> 0)
     ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
@@ -129,7 +129,7 @@ let test_mg1_matches_ssbm_simulation () =
       (Trace.config ~kind:Workloads.Ssbm_wl ~profile:Workloads.Sla_a ~load
          ~servers:1 ~n_queries:16_000 ~seed:123 ())
   in
-  let metrics = Metrics.create ~warmup_id:6_000 in
+  let metrics = Metrics.create ~warmup_id:6_000 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(fun ~now:_ _ -> 0)
     ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })

@@ -16,7 +16,7 @@ let fcfs_pick ~now:_ _buffer = 0
 (* Drive a simulation while recording every dispatch target. *)
 let run_recording dispatcher queries ~n_servers =
   let targets = ref [] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run
     ~on_dispatch:(fun ~now:_ _q (d : Sim.decision) ->
       targets := d.target :: !targets)
@@ -147,7 +147,7 @@ let test_sla_tree_dispatch_prefers_idle () =
 let test_sla_tree_dispatch_reports_delta () =
   let d = Dispatchers.sla_tree Planner.fcfs in
   let deltas = ref [] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let queries = [| mk 0 0.0 10.0 |] in
   Sim.run
     ~on_dispatch:(fun ~now:_ _q (dec : Sim.decision) ->
@@ -181,7 +181,7 @@ let fragile_scenario_queries =
 
 let test_sla_tree_dispatch_avoids_harm () =
   let probe = ref None in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run
     ~queries:fragile_scenario_queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.sjf)
@@ -201,7 +201,7 @@ let test_admission_control_rejects_harmful () =
   (* Same scenario driven through the real dispatcher with admission
      control: the harmful newcomer must be rejected. *)
   let d = Dispatchers.sla_tree ~admission:true Planner.sjf in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let targets = ref [] in
   Sim.run
     ~on_dispatch:(fun ~now:_ _q (dec : Sim.decision) ->
@@ -216,7 +216,7 @@ let test_admission_control_rejects_harmful () =
 
 let test_insertion_profit_empty_server () =
   (* Direct probe of the what-if on an empty system. *)
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let probe = ref None in
   let queries = [| mk 0 5.0 10.0 |] in
   Sim.run
@@ -235,7 +235,7 @@ let test_insertion_profit_heterogeneous () =
      claim). *)
   let q = mk ~sla:(sla ~bound:6.0 ~gain:2.0 ()) 0 0.0 10.0 in
   let probe_fast = ref None and probe_slow = ref None in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~speeds:[| 2.0; 0.5 |]
     ~queries:[| q |] ~n_servers:2
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
@@ -260,7 +260,7 @@ let test_heterogeneous_end_to_end () =
   in
   let speeds = [| 2.0; 1.0; 1.0; 0.5 |] in
   let loss dispatcher =
-    let metrics = Metrics.create ~warmup_id:1_000 in
+    let metrics = Metrics.create ~warmup_id:1_000 () in
     Sim.run ~speeds ~queries ~n_servers:4
       ~pick_next:(Schedulers.pick Schedulers.fcfs_sla_tree)
       ~dispatch:(Dispatchers.instantiate dispatcher)
@@ -284,7 +284,7 @@ let test_names () =
 (* End-to-end shape check (Table 3's relation): SLA-tree dispatching
    beats LWL on a congested multi-server system. *)
 let avg_loss dispatcher scheduler queries ~n_servers ~warmup =
-  let metrics = Metrics.create ~warmup_id:warmup in
+  let metrics = Metrics.create ~warmup_id:warmup () in
   Sim.run ~queries ~n_servers
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(Dispatchers.instantiate dispatcher)

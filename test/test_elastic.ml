@@ -60,7 +60,7 @@ let test_removal_probe () =
       check_bool "cheapest cost >= 0" true (c >= 0.0)
     | None -> check_bool "none only when <2 accept" true (Sim.dispatchable_count sim < 2)
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~ticker:(100.0, ticker) ~queries ~n_servers:3
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
@@ -71,7 +71,7 @@ let test_cheapest_removal_needs_two () =
   let queries = [| Query.make ~id:0 ~arrival:0.0 ~size:5.0 ~sla:(Sla.one_zero ~bound:50.0) () |] in
   let saw = ref None in
   let ticker sim = saw := Some (Elastic.cheapest_removal sim) in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~ticker:(1.0, ticker) ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
@@ -101,7 +101,7 @@ let test_boot_delay_respected () =
     | None -> ());
     { Sim.target = Some 0; est_delta = None }
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~ticker:(3.0, ticker) ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch ~metrics ();
@@ -122,7 +122,7 @@ let test_retire_last_server_rejected () =
   let ticker sim =
     result := raises_invalid (fun () -> Sim.retire_server sim 0)
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~ticker:(1.0, ticker) ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
@@ -142,7 +142,7 @@ let run_instrumented ~queries ~config ~policy ~n_servers =
   let retired = Hashtbl.create 8 in
   let violations = ref [] in
   let c = Elastic.create config policy ~initial_servers:n_servers in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
   let dispatch = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()) in
   let on_server_event ~sid ~now ev =
@@ -209,7 +209,7 @@ let test_conservation_with_drop_policy () =
   let completed = Array.make n 0 in
   let dropped = Array.make n 0 in
   let c = Elastic.create config Elastic.sla_tree_policy ~initial_servers:3 in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
   let dispatch = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()) in
   let on_server_event ~sid ~now ev =

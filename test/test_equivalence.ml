@@ -34,7 +34,7 @@ let run_scheduler_both ?drop_policy ?ticker ~queries ~servers () =
     if a <> b then incr mismatches;
     a
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ?drop_policy ?ticker
     ~on_server_event:(Incr_sched.hook st)
     ~queries ~n_servers:servers ~pick_next:pick
@@ -101,7 +101,7 @@ let test_scheduler_end_to_end_metrics_equal () =
       ~n_queries:1_500 ~seed:404
   in
   let run sched =
-    let metrics = Metrics.create ~warmup_id:500 in
+    let metrics = Metrics.create ~warmup_id:500 () in
     let pick_next, hook = Schedulers.instantiate sched in
     Sim.run ?on_server_event:hook ~queries ~n_servers:3 ~pick_next
       ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
@@ -162,7 +162,7 @@ let run_dispatcher_both ?speeds ?ticker ~admission ~queries ~servers () =
     if a.Sim.target <> b.Sim.target then incr mismatches;
     a
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ?speeds ?ticker ~queries ~n_servers:servers
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch ~metrics ();

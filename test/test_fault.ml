@@ -18,7 +18,7 @@ let fcfs_pick ~now:_ _buffer = 0
 let run_fault ?(retry = Fault.default_retry) ?(n_servers = 2) ?dispatch ~plan
     queries =
   let injector = Fault.create ~retry ~plan () in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let dispatch =
     match dispatch with
     | Some d -> d
@@ -168,7 +168,7 @@ let test_crash_never_strands_workload () =
 
 let test_finalize_twice_raises () =
   let injector = Fault.create ~plan:[] () in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Fault.finalize injector metrics;
   check_bool "second finalize raises" true
     (match Fault.finalize injector metrics with
@@ -284,7 +284,7 @@ let test_empty_plan_is_inert () =
      reproduce the uninstrumented run bit for bit. *)
   let queries = steady_trace ~n_queries:400 ~seed:22 in
   let with_injector = snapshot (run_fault ~plan:[] queries) in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let dispatch sim (_q : Query.t) =
     let target = ref None in
     for sid = Sim.n_servers sim - 1 downto 0 do

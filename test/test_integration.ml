@@ -9,7 +9,7 @@ let check_float = Alcotest.(check (float 1e-9))
 let fcfs_dispatch = Dispatchers.round_robin
 
 let run scheduler ~queries ~warmup =
-  let metrics = Metrics.create ~warmup_id:warmup in
+  let metrics = Metrics.create ~warmup_id:warmup () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(Dispatchers.instantiate fcfs_dispatch)
@@ -105,7 +105,7 @@ let test_tree_what_if_consistent_with_sim () =
   let predicted = Sla_tree.postpone tree ~m:0 ~n:4 ~tau in
   (* Realize both worlds. *)
   let profit_of queries =
-    let metrics = Metrics.create ~warmup_id:0 in
+    let metrics = Metrics.create ~warmup_id:0 () in
     Sim.run ~queries ~n_servers:1
       ~pick_next:(fun ~now:_ _ -> 0)
       ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
@@ -153,7 +153,7 @@ let test_admission_control_pipeline () =
       (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:1.5
          ~servers:1 ~n_queries:1_000 ~seed:13 ())
   in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch:
@@ -172,7 +172,7 @@ let test_late_fraction_equals_loss_for_sla_a () =
       (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load:0.9
          ~servers:1 ~n_queries:2_000 ~seed:14 ())
   in
-  let metrics = Metrics.create ~warmup_id:1_000 in
+  let metrics = Metrics.create ~warmup_id:1_000 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)

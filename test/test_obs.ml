@@ -243,7 +243,7 @@ let test_sched_decision_latency_recorded () =
   let queries = small_queries () in
   let pick_next, hook = Schedulers.instantiate ~obs Schedulers.fcfs_sla_tree_incr in
   let dispatch = Dispatchers.instantiate ~obs (Dispatchers.fcfs_sla_tree_incr ()) in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~obs ?on_server_event:hook ~queries ~n_servers:2 ~pick_next ~dispatch
     ~metrics ();
   let reg = Obs.registry obs in

@@ -131,7 +131,7 @@ let test_generated_trace_runs_in_sim () =
     Cost_predictor.generate_trace predictor ~profile:Workloads.Sla_a ~load:0.8
       ~servers:1 ~n_queries:600 ~seed:10
   in
-  let metrics = Metrics.create ~warmup_id:200 in
+  let metrics = Metrics.create ~warmup_id:200 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs_sla_tree)
     ~dispatch:(Dispatchers.instantiate Dispatchers.round_robin)

@@ -239,7 +239,7 @@ let test_frontend_matches_sim_scheduler () =
   in
   let queries = Trace.generate cfg in
   (* Simulator run. *)
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick Schedulers.fcfs_sla_tree)
     ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })
@@ -280,7 +280,7 @@ let test_frontend_matches_sim_scheduler () =
    worse than its baseline (this is the paper's headline Table 2
    relation, checked here at small scale as a test). *)
 let run_loss scheduler queries =
-  let metrics = Metrics.create ~warmup_id:(Array.length queries / 4) in
+  let metrics = Metrics.create ~warmup_id:(Array.length queries / 4) () in
   Sim.run ~queries ~n_servers:1
     ~pick_next:(Schedulers.pick scheduler)
     ~dispatch:(fun _ _ -> { Sim.target = Some 0; est_delta = None })

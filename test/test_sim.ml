@@ -29,12 +29,12 @@ let single_dispatch _sim _q = { Sim.target = Some 0; est_delta = None }
    statistics computed from hand-derived schedules. *)
 let run_collect ?(n_servers = 1) ?(pick = fcfs_pick) ?(dispatch = single_dispatch)
     queries =
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~queries ~n_servers ~pick_next:pick ~dispatch ~metrics ();
   metrics
 
 let test_metrics_warmup () =
-  let m = Metrics.create ~warmup_id:2 in
+  let m = Metrics.create ~warmup_id:2 () in
   Metrics.record m (mk 0 0.0 1.0) ~completion:1.0;
   Metrics.record m (mk 1 0.0 1.0) ~completion:2.0;
   Metrics.record m (mk 2 0.0 1.0) ~completion:3.0;
@@ -47,26 +47,26 @@ let test_metrics_warmup () =
   check_float "late fraction" 0.5 (Metrics.late_fraction m)
 
 let test_metrics_rejection () =
-  let m = Metrics.create ~warmup_id:0 in
+  let m = Metrics.create ~warmup_id:0 () in
   Metrics.record_rejected m (mk 0 0.0 1.0);
   check_int "rejected" 1 (Metrics.rejected_count m);
   check_float "loss is ideal profit" 1.0 (Metrics.avg_loss m);
   check_float "profit zero" 0.0 (Metrics.avg_profit m)
 
 let test_metrics_response () =
-  let m = Metrics.create ~warmup_id:0 in
+  let m = Metrics.create ~warmup_id:0 () in
   Metrics.record m (mk 0 5.0 1.0) ~completion:9.0;
   check_float "response" 4.0 (Metrics.avg_response m)
 
 let test_metrics_percentiles () =
-  let m = Metrics.create ~warmup_id:0 in
+  let m = Metrics.create ~warmup_id:0 () in
   for i = 1 to 100 do
     Metrics.record m (mk i 0.0 1.0) ~completion:(Float.of_int i)
   done;
   check_float "p50" 50.5 (Metrics.response_percentile m 50.0);
   check_float "p100" 100.0 (Metrics.response_percentile m 100.0);
   check_bool "empty is nan" true
-    (Float.is_nan (Metrics.response_percentile (Metrics.create ~warmup_id:0) 50.0))
+    (Float.is_nan (Metrics.response_percentile (Metrics.create ~warmup_id:0 ()) 50.0))
 
 let test_breakdown_classes () =
   let cheap = Sla.one_zero ~bound:10.0 in
@@ -93,7 +93,7 @@ let test_breakdown_classes () =
 
 let test_on_complete_hook () =
   let seen = ref [] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let queries = [| mk 0 0.0 2.0; mk 1 0.5 1.0 |] in
   Sim.run
     ~on_complete:(fun q ~completion -> seen := (q.Query.id, completion) :: !seen)
@@ -183,7 +183,7 @@ let test_invalid_scheduler_index () =
 
 let test_on_dispatch_observer () =
   let seen = ref [] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let queries = [| mk 0 0.0 1.0; mk 1 0.5 1.0 |] in
   Sim.run
     ~on_dispatch:(fun ~now q _d -> seen := (now, q.Query.id) :: !seen)
@@ -221,7 +221,7 @@ let test_drop_policy () =
     |]
   in
   let run drop =
-    let m = Metrics.create ~warmup_id:0 in
+    let m = Metrics.create ~warmup_id:0 () in
     Sim.run
       ?drop_policy:(if drop then Some Sim.drop_past_last_deadline else None)
       ~queries ~n_servers:1 ~pick_next:fcfs_pick ~dispatch:single_dispatch
@@ -251,7 +251,7 @@ let test_drop_policy_frees_capacity () =
     |]
   in
   let run drop =
-    let m = Metrics.create ~warmup_id:0 in
+    let m = Metrics.create ~warmup_id:0 () in
     Sim.run
       ?drop_policy:(if drop then Some Sim.drop_past_last_deadline else None)
       ~queries ~n_servers:1 ~pick_next:fcfs_pick ~dispatch:single_dispatch
@@ -290,7 +290,7 @@ let test_drop_backlog_accounting () =
     incr checks;
     { Sim.target = Some 0; est_delta = None }
   in
-  let m = Metrics.create ~warmup_id:0 in
+  let m = Metrics.create ~warmup_id:0 () in
   Sim.run ~drop_policy:Sim.drop_past_last_deadline ~queries ~n_servers:1
     ~pick_next:fcfs_pick ~dispatch ~metrics:m ();
   (* q1 and q2 are hopeless once q0 monopolizes the server to t=10. *)
@@ -312,7 +312,7 @@ let test_drop_penalty_in_metrics () =
     |]
   in
   let expected = ref 0.0 in
-  let m = Metrics.create ~warmup_id:0 in
+  let m = Metrics.create ~warmup_id:0 () in
   Sim.run ~drop_policy:Sim.drop_past_last_deadline
     ~on_complete:(fun q ~completion ->
       expected := !expected +. Query.profit_at q ~completion)
@@ -335,7 +335,7 @@ let test_heterogeneous_speeds () =
     { Sim.target = Some !rr; est_delta = None }
   in
   let queries = [| mk 0 0.0 10.0; mk 1 0.0 10.0 |] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~speeds:[| 2.0; 0.5 |] ~queries ~n_servers:2 ~pick_next:fcfs_pick
     ~dispatch ~metrics ();
   (* Responses: 10/2 = 5 on the fast server, 10/0.5 = 20 on the slow
@@ -349,7 +349,7 @@ let test_heterogeneous_work_left () =
     { Sim.target = Some 0; est_delta = None }
   in
   let queries = [| mk 0 0.0 8.0; mk 1 1.0 4.0; mk 2 2.0 1.0 |] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   Sim.run ~speeds:[| 2.0 |] ~queries ~n_servers:1 ~pick_next:fcfs_pick ~dispatch
     ~metrics ();
   (* Speed 2: q0 takes 4 wall-clock units. At t=1 it has 3 left; at
@@ -359,7 +359,7 @@ let test_heterogeneous_work_left () =
 
 let test_invalid_speeds () =
   let queries = [| mk 0 0.0 1.0 |] in
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let run speeds =
     Sim.run ~speeds ~queries ~n_servers:1 ~pick_next:fcfs_pick
       ~dispatch:single_dispatch ~metrics ()
@@ -411,7 +411,7 @@ let test_retire_would_empty_pool () =
    the dispatcher declines is recorded as a REJECTION — never silently
    lost. Every arrived query must show up in exactly one metric. *)
 let test_retire_redistribute_reject_is_rejection () =
-  let metrics = Metrics.create ~warmup_id:0 in
+  let metrics = Metrics.create ~warmup_id:0 () in
   let retired = ref false in
   let dispatch sim (q : Query.t) =
     if q.Query.arrival >= 3.0 && not !retired then begin

@@ -221,6 +221,24 @@ let test_heap_capacity_respected () =
   Heap.push h 101;
   check_int "doubles only past capacity" 200 (Heap.capacity h)
 
+(* [of_list ~capacity] sizes the backing array once for the workload,
+   like [create ~capacity], instead of tightly to the list. *)
+let test_heap_of_list_capacity () =
+  let h = Heap.of_list ~capacity:64 Int.compare [ 3; 1; 2 ] in
+  check_int "capacity honoured" 64 (Heap.capacity h);
+  check_int "length" 3 (Heap.length h);
+  check_int "still a heap" 1 (Heap.pop_exn h);
+  for i = 4 to 64 do
+    Heap.push h i
+  done;
+  check_int "no regrow up to capacity" 64 (Heap.capacity h)
+
+let test_heap_of_list_empty () =
+  let h = Heap.of_list Int.compare [] in
+  check_bool "empty" true (Heap.is_empty h);
+  Heap.push h 9;
+  check_int "usable after" 9 (Heap.pop_exn h)
+
 (* ------------------------------------------------------------------ *)
 (* Deque *)
 
@@ -553,6 +571,34 @@ let test_histogram_render_smoke () =
         in
         contains "underflow" && contains "overflow"))
 
+(* Regression: a bin dwarfed by the peak used to round its bar down to
+   zero '#', making a non-empty bin indistinguishable from an empty
+   one. Counts render in a fixed %8d column, so " <count> " with that
+   padding identifies each bin's line. *)
+let test_histogram_render_min_bar () =
+  let h = Histogram.create ~scale:Histogram.Linear ~lo:0.0 ~hi:3.0 ~bins:3 in
+  for _ = 1 to 10_000 do
+    Histogram.add h 0.5
+  done;
+  Histogram.add h 1.5;
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Histogram.render ppf h;
+  Format.pp_print_flush ppf ();
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let line_of count =
+    List.find (fun l -> contains l (Printf.sprintf "%8d " count)) lines
+  in
+  check_bool "peak bin has a bar" true (String.contains (line_of 10_000) '#');
+  check_bool "singleton bin still shows a mark" true
+    (String.contains (line_of 1) '#');
+  check_bool "empty bin shows none" false (String.contains (line_of 0) '#')
+
 let test_stats_pp_smoke () =
   let s = Stats.of_array [| 1.0; 2.0; 3.0 |] in
   let str = Fmt.str "%a" Stats.pp s in
@@ -609,6 +655,8 @@ let () =
           Alcotest.test_case "to_list" `Quick test_heap_to_list;
           Alcotest.test_case "capacity respected" `Quick
             test_heap_capacity_respected;
+          Alcotest.test_case "of_list capacity" `Quick test_heap_of_list_capacity;
+          Alcotest.test_case "of_list empty" `Quick test_heap_of_list_empty;
           qtest prop_heap_sorts;
         ] );
       ( "deque",
@@ -645,6 +693,7 @@ let () =
           Alcotest.test_case "percentile basic" `Quick
             test_histogram_percentile_basic;
           Alcotest.test_case "render smoke" `Quick test_histogram_render_smoke;
+          Alcotest.test_case "render min bar" `Quick test_histogram_render_min_bar;
           qtest prop_histogram_percentile_oracle;
         ] );
       ( "arrayx",
