@@ -18,9 +18,21 @@ let now = 200.0
 let buffer_of n = Fig17.make_buffer ~seed:42 n
 
 let build_tests =
+  (* Steady-state dispatcher shape: one arena reused across rebuilds,
+     so the measured cost is sort+cascade work, not allocation. *)
   Test.make_indexed ~name:"sla_tree.build" ~fmt:"%s:%d" ~args:sizes (fun n ->
       let buffer = buffer_of n in
-      Staged.stage (fun () -> ignore (Sla_tree.build ~now buffer)))
+      let arena = Sla_tree.create_arena () in
+      Staged.stage (fun () -> ignore (Sla_tree.build ~arena ~now buffer)))
+
+let boxed_build_tests =
+  (* The per-node boxed representation the flat layout replaced; kept
+     as the delta row next to sla_tree.build. *)
+  Test.make_indexed ~name:"sla_tree.build_boxed" ~fmt:"%s:%d" ~args:sizes
+    (fun n ->
+      let buffer = buffer_of n in
+      Staged.stage (fun () ->
+          ignore (Sla_tree.build ~impl:Sla_tree.Boxed ~now buffer)))
 
 let postpone_tests =
   Test.make_indexed ~name:"sla_tree.postpone" ~fmt:"%s:%d" ~args:sizes (fun n ->
@@ -42,8 +54,9 @@ let decision_tests =
      (the quantity plotted in Fig 17). *)
   Test.make_indexed ~name:"sched.decision" ~fmt:"%s:%d" ~args:sizes (fun n ->
       let buffer = buffer_of n in
+      let arena = Sla_tree.create_arena () in
       Staged.stage (fun () ->
-          ignore (What_if.best_rush (Sla_tree.build ~now buffer))))
+          ignore (What_if.best_rush (Sla_tree.build ~arena ~now buffer))))
 
 let incr_question_tests =
   (* One postpone question against a live incremental tree. *)
@@ -68,6 +81,7 @@ let run_micro () =
     Test.make_grouped ~name:"slatree"
       [
         build_tests;
+        boxed_build_tests;
         postpone_tests;
         naive_postpone_tests;
         decision_tests;
@@ -167,6 +181,56 @@ let run_sim_throughput scale =
   in
   Fmt.pr "@.";
   rows
+
+(* Part 1b' — scale: the headline end-to-end run. A 1M-query trace
+   spread over 100 servers at steady load (50k over 20 at smoke),
+   dispatched by FCFS two ways: the incremental per-server trees, and
+   the flat rebuild path with memoized dispatch probes. One wall-clock
+   run each — at this size a single run is past measurement noise, and
+   single-digit seconds for the million-query run is the bar. *)
+
+type scale_bench = {
+  sc_queries : int;
+  sc_servers : int;
+  sc_runs : (string * float * float) list;  (* label, wall ms, queries/s *)
+}
+
+let run_scale scale =
+  let n, n_servers =
+    if scale.Exp_scale.n_queries <= Exp_scale.smoke.Exp_scale.n_queries then
+      (50_000, 20)
+    else (1_000_000, 100)
+  in
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:0.9
+         ~servers:n_servers ~n_queries:n ~seed:scale.Exp_scale.base_seed ())
+  in
+  Fmt.pr "=== scale: %d queries over %d servers, FCFS ===@." n n_servers;
+  let run1 label ~scheduler ~dispatcher =
+    Gc.compact ();
+    let metrics = Metrics.create ~warmup_id:0 () in
+    let pick_next, hook = Schedulers.instantiate scheduler in
+    let t0 = Unix.gettimeofday () in
+    Sim.run ?on_server_event:hook ~queries ~n_servers ~pick_next
+      ~dispatch:(Dispatchers.instantiate dispatcher)
+      ~metrics ();
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    let qps = Float.of_int n /. wall_ms *. 1e3 in
+    Fmt.pr "%-12s %10.0f ms %12.0f queries/s@." label wall_ms qps;
+    (label, wall_ms, qps)
+  in
+  let incr =
+    run1 "fcfs-incr" ~scheduler:Schedulers.fcfs_sla_tree_incr
+      ~dispatcher:(Dispatchers.fcfs_sla_tree_incr ())
+  in
+  let memo =
+    run1 "tree-memo" ~scheduler:Schedulers.fcfs_sla_tree
+      ~dispatcher:(Dispatchers.sla_tree Planner.fcfs)
+  in
+  let runs = [ incr; memo ] in
+  Fmt.pr "@.";
+  { sc_queries = n; sc_servers = n_servers; sc_runs = runs }
 
 (* Part 1c — observability overhead. After the lib/obs refactor every
    instrumentation site exists in the one binary, so "observability
@@ -452,7 +516,8 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults ~parallel =
+let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
+    ~parallel =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -480,6 +545,19 @@ let emit_json ~path ~scale ~micro ~throughput ~elastic ~obs ~faults ~parallel =
            (if i = List.length throughput - 1 then "" else ",")))
     throughput;
   add "  ],\n";
+  add "  \"scale_run\": {\n";
+  add (Printf.sprintf "    \"queries\": %d,\n" scale_run.sc_queries);
+  add (Printf.sprintf "    \"servers\": %d,\n" scale_run.sc_servers);
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i (label, wall_ms, qps) ->
+      add
+        (Printf.sprintf
+           "      {\"label\": \"%s\", \"wall_ms\": %s, \"qps\": %s}%s\n"
+           (json_escape label) (json_float wall_ms) (json_float qps)
+           (if i = List.length scale_run.sc_runs - 1 then "" else ",")))
+    scale_run.sc_runs;
+  add "    ]\n  },\n";
   let wall_ms, rows = elastic in
   add "  \"elastic\": {\n";
   add (Printf.sprintf "    \"wall_ms\": %s,\n" (json_float wall_ms));
@@ -575,13 +653,14 @@ let () =
      process in a state (heap shape, GC tuning) that skews wall-clock
      numbers taken afterwards. *)
   let throughput = run_sim_throughput scale in
+  let scale_run = run_scale scale in
   let obs = run_obs_overhead scale in
   let faults = run_faults scale in
   let elastic = run_elastic scale in
   let parallel = run_parallel scale in
   let micro = run_micro () in
-  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~elastic ~obs
-    ~faults ~parallel;
+  emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~scale_run
+    ~elastic ~obs ~faults ~parallel;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

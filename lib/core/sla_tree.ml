@@ -8,30 +8,52 @@
        by tau.
 
    Both use the additive property postpone(m,n,t) = postpone(0,n,t) -
-   postpone(0,m-1,t) and cost O(log NK) after the O(NK log NK) build. *)
+   postpone(0,m-1,t) and cost O(log NK) after the O(NK log NK) build.
 
-type t = {
-  entries : Schedule.entry array;
-  slack_tree : Cascade_tree.t;
-  tardy_tree : Cascade_tree.t;
-  now : float;
-}
+   Two interchangeable representations sit behind the facade: the flat
+   arena-backed structure-of-arrays tree (the default) and the original
+   boxed node tree, kept as the bit-identical oracle the equivalence
+   suite compares against. *)
 
-let of_entries ~now entries =
-  let units = Slack_units.of_schedule entries in
-  let slack_units, tardy_units = Slack_units.partition units in
-  {
-    entries;
-    slack_tree = Cascade_tree.build slack_units;
-    tardy_tree = Cascade_tree.build tardy_units;
-    now;
-  }
+type impl = Flat | Boxed
 
-let build ~now queries = of_entries ~now (Schedule.of_queries ~now queries)
+type repr =
+  | Flat_repr of Flat_sla_tree.t
+  | Boxed_repr of { slack_tree : Cascade_tree.t; tardy_tree : Cascade_tree.t }
+
+type t = { entries : Schedule.entry array; repr : repr; now : float }
+
+type arena = Flat_sla_tree.arena
+
+let create_arena = Flat_sla_tree.create_arena
+
+let of_entries ?(impl = Flat) ?arena ~now entries =
+  let repr =
+    match impl with
+    | Flat ->
+      let arena =
+        match arena with Some a -> a | None -> Flat_sla_tree.create_arena ()
+      in
+      Flat_repr (Flat_sla_tree.build arena entries)
+    | Boxed ->
+      let units = Slack_units.of_schedule entries in
+      let slack_units, tardy_units = Slack_units.partition units in
+      Boxed_repr
+        {
+          slack_tree = Cascade_tree.build slack_units;
+          tardy_tree = Cascade_tree.build tardy_units;
+        }
+  in
+  { entries; repr; now }
+
+let build ?impl ?arena ~now queries =
+  of_entries ?impl ?arena ~now (Schedule.of_queries ~now queries)
 
 let length t = Array.length t.entries
 let now t = t.now
 let entries t = t.entries
+
+let impl t = match t.repr with Flat_repr _ -> Flat | Boxed_repr _ -> Boxed
 
 let entry t i =
   if i < 0 || i >= Array.length t.entries then
@@ -39,7 +61,12 @@ let entry t i =
   t.entries.(i)
 
 let unit_counts t =
-  (Cascade_tree.unit_count t.slack_tree, Cascade_tree.unit_count t.tardy_tree)
+  match t.repr with
+  | Flat_repr f ->
+    ( Flat_sla_tree.unit_count (Flat_sla_tree.slack f),
+      Flat_sla_tree.unit_count (Flat_sla_tree.tardy f) )
+  | Boxed_repr { slack_tree; tardy_tree } ->
+    (Cascade_tree.unit_count slack_tree, Cascade_tree.unit_count tardy_tree)
 
 let check_range t ~m ~n =
   let len = Array.length t.entries in
@@ -47,35 +74,76 @@ let check_range t ~m ~n =
     invalid_arg
       (Printf.sprintf "Sla_tree: bad range [%d, %d] for %d queries" m n len)
 
-let prefix tree mode ~n ~tau =
-  if n < 0 then 0.0 else Cascade_tree.prefix_loss tree mode ~n ~tau
+(* Prefix questions against S+ (mode Lt) and S- (mode Le). [n < 0]
+   denotes the empty prefix. *)
+let prefix_slack t ~n ~tau =
+  if n < 0 then 0.0
+  else begin
+    match t.repr with
+    | Flat_repr f ->
+      Flat_sla_tree.prefix_loss (Flat_sla_tree.slack f) Cascade_tree.Lt ~n ~tau
+    | Boxed_repr { slack_tree; _ } ->
+      Cascade_tree.prefix_loss slack_tree Cascade_tree.Lt ~n ~tau
+  end
+
+let prefix_tardy t ~n ~tau =
+  if n < 0 then 0.0
+  else begin
+    match t.repr with
+    | Flat_repr f ->
+      Flat_sla_tree.prefix_loss (Flat_sla_tree.tardy f) Cascade_tree.Le ~n ~tau
+    | Boxed_repr { tardy_tree; _ } ->
+      Cascade_tree.prefix_loss tardy_tree Cascade_tree.Le ~n ~tau
+  end
+
+(* Probes over an empty buffer are defined and answer 0.0: no queries,
+   nothing to lose or recover. Ranges are only validated against a
+   non-empty buffer (callers need no [if n = 0] guards). *)
 
 let postpone t ~m ~n ~tau =
-  check_range t ~m ~n;
   if tau < 0.0 then invalid_arg "Sla_tree.postpone: tau must be non-negative";
-  if tau = 0.0 then 0.0
-  else
-    prefix t.slack_tree Cascade_tree.Lt ~n ~tau
-    -. prefix t.slack_tree Cascade_tree.Lt ~n:(m - 1) ~tau
+  if Array.length t.entries = 0 then 0.0
+  else begin
+    check_range t ~m ~n;
+    if tau = 0.0 then 0.0
+    else prefix_slack t ~n ~tau -. prefix_slack t ~n:(m - 1) ~tau
+  end
 
 let expedite t ~m ~n ~tau =
-  check_range t ~m ~n;
   if tau < 0.0 then invalid_arg "Sla_tree.expedite: tau must be non-negative";
-  if tau = 0.0 then 0.0
-  else
-    prefix t.tardy_tree Cascade_tree.Le ~n ~tau
-    -. prefix t.tardy_tree Cascade_tree.Le ~n:(m - 1) ~tau
+  if Array.length t.entries = 0 then 0.0
+  else begin
+    check_range t ~m ~n;
+    if tau = 0.0 then 0.0
+    else prefix_tardy t ~n ~tau -. prefix_tardy t ~n:(m - 1) ~tau
+  end
 
 (* Profit currently at stake (still earnable) among queries 0..n: the
    gains of all their on-time units. *)
 let profit_at_stake t ~n =
-  if n < 0 then 0.0 else Cascade_tree.prefix_total t.slack_tree ~n
+  if n < 0 then 0.0
+  else begin
+    match t.repr with
+    | Flat_repr f -> Flat_sla_tree.prefix_total (Flat_sla_tree.slack f) ~n
+    | Boxed_repr { slack_tree; _ } -> Cascade_tree.prefix_total slack_tree ~n
+  end
 
-let total_profit_at_stake t = Cascade_tree.total t.slack_tree
+let total_profit_at_stake t =
+  match t.repr with
+  | Flat_repr f -> Flat_sla_tree.total (Flat_sla_tree.slack f)
+  | Boxed_repr { slack_tree; _ } -> Cascade_tree.total slack_tree
 
 (* Profit already forfeited (late units) among queries 0..n that could
    in principle be recovered by expediting. *)
 let recoverable_profit t ~n =
-  if n < 0 then 0.0 else Cascade_tree.prefix_total t.tardy_tree ~n
+  if n < 0 then 0.0
+  else begin
+    match t.repr with
+    | Flat_repr f -> Flat_sla_tree.prefix_total (Flat_sla_tree.tardy f) ~n
+    | Boxed_repr { tardy_tree; _ } -> Cascade_tree.prefix_total tardy_tree ~n
+  end
 
-let total_recoverable_profit t = Cascade_tree.total t.tardy_tree
+let total_recoverable_profit t =
+  match t.repr with
+  | Flat_repr f -> Flat_sla_tree.total (Flat_sla_tree.tardy f)
+  | Boxed_repr { tardy_tree; _ } -> Cascade_tree.total tardy_tree

@@ -7,13 +7,31 @@
 
 type t
 
+(** Which representation backs the tree: [Flat] (default) is the
+    arena-backed structure-of-arrays layout; [Boxed] is the original
+    per-node representation, kept as the bit-identical oracle. *)
+type impl = Flat | Boxed
+
+(** Reusable backing store for [Flat] builds. An arena holds one live
+    tree: building into it again invalidates the previous tree. Do not
+    share across domains. *)
+type arena = Flat_sla_tree.arena
+
+val create_arena : unit -> arena
+
 (** [build ~now queries] schedules [queries] back-to-back from [now]
     (the order of the array is the execution order) and builds both
-    trees. *)
-val build : now:float -> Query.t array -> t
+    trees. [?impl] selects the representation (default [Flat]);
+    [?arena] reuses backing storage for [Flat] builds (ignored for
+    [Boxed]). *)
+val build : ?impl:impl -> ?arena:arena -> now:float -> Query.t array -> t
 
 (** Build over custom scheduled starts. *)
-val of_entries : now:float -> Schedule.entry array -> t
+val of_entries :
+  ?impl:impl -> ?arena:arena -> now:float -> Schedule.entry array -> t
+
+(** The representation backing this tree. *)
+val impl : t -> impl
 
 val length : t -> int
 val now : t -> float
@@ -24,12 +42,13 @@ val entry : t -> int -> Schedule.entry
 val unit_counts : t -> int * int
 
 (** [postpone t ~m ~n ~tau]: profit lost if queries [m..n] start [tau]
-    later than scheduled. Raises [Invalid_argument] on a bad range or
-    negative [tau]. *)
+    later than scheduled. On an empty buffer every probe answers [0.0];
+    otherwise raises [Invalid_argument] on a bad range. Negative [tau]
+    always raises. *)
 val postpone : t -> m:int -> n:int -> tau:float -> float
 
 (** [expedite t ~m ~n ~tau]: profit gained if queries [m..n] start
-    [tau] earlier than scheduled. *)
+    [tau] earlier than scheduled. Empty-buffer probes answer [0.0]. *)
 val expedite : t -> m:int -> n:int -> tau:float -> float
 
 (** Gains of on-time units among queries [0..n] (still earnable). *)

@@ -32,18 +32,16 @@ let rush_net_gain tree i =
    keeps the original order. Returns [None] on an empty buffer. *)
 let best_rush tree =
   let n = Sla_tree.length tree in
-  if n = 0 then None
-  else begin
-    let best_i = ref 0 and best_gain = ref 0.0 in
-    for i = 1 to n - 1 do
-      let g = rush_net_gain tree i in
-      if g > !best_gain then begin
-        best_i := i;
-        best_gain := g
-      end
-    done;
-    Some (!best_i, !best_gain)
-  end
+  let best = ref None in
+  for i = 0 to n - 1 do
+    (* rush_net_gain is 0.0 at i = 0, so the first iteration seeds the
+       running best; an empty buffer never seeds and yields None. *)
+    let g = rush_net_gain tree i in
+    match !best with
+    | Some (_, bg) when g <= bg -> ()
+    | Some _ | None -> best := Some (i, g)
+  done;
+  !best
 
 (* [best_rush] against a live incremental tree: same argmax, same
    tie-breaking, but the postpone questions run over the maintained
@@ -115,9 +113,7 @@ let idle_server_profit ~now query =
 let recovery_curve tree ~taus =
   let n = Sla_tree.length tree in
   List.map
-    (fun tau ->
-      let gain = if n = 0 then 0.0 else Sla_tree.expedite tree ~m:0 ~n:(n - 1) ~tau in
-      (tau, gain))
+    (fun tau -> (tau, Sla_tree.expedite tree ~m:0 ~n:(n - 1) ~tau))
     taus
 
 (* Maintenance-window planning: a pause of [duration] inserted before
@@ -142,13 +138,16 @@ let best_maintenance_slot ?latest_start tree ~duration =
   let loss p =
     if p >= n then 0.0 else Sla_tree.postpone tree ~m:p ~n:(n - 1) ~tau:duration
   in
+  (* Scan from the latest slot down and only ever replace the running
+     best on a STRICT improvement: the first slot seen at the minimum
+     loss is the latest one, so the documented tie-break holds without
+     any float-equality test. *)
   let best = ref None in
-  for p = 0 to n do
+  for p = n downto 0 do
     if allowed p then begin
       let l = loss p in
       match !best with
-      | Some (_, bl) when bl < l -> ()
-      | Some (_, bl) when bl = l -> best := Some (p, l)
+      | Some (_, bl) when l >= bl -> ()
       | Some _ | None -> best := Some (p, l)
     end
   done;
@@ -161,20 +160,17 @@ let best_maintenance_slot ?latest_start tree ~duration =
    claw back. *)
 let stall_impact tree ~stall ~catch_up =
   let n = Sla_tree.length tree in
-  if n = 0 then (0.0, 0.0)
-  else begin
-    let lost = Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau:stall in
-    let recovered =
-      if catch_up <= 0.0 then 0.0
-      else begin
-        (* After the stall, expediting by catch_up recovers units whose
-           post-stall tardiness is within catch_up: those with original
-           slack in [stall - catch_up, stall). *)
-        let tree_loss tau =
-          if tau <= 0.0 then 0.0 else Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau
-        in
-        lost -. tree_loss (stall -. catch_up)
-      end
-    in
-    (lost, recovered)
-  end
+  let lost = Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau:stall in
+  let recovered =
+    if catch_up <= 0.0 then 0.0
+    else begin
+      (* After the stall, expediting by catch_up recovers units whose
+         post-stall tardiness is within catch_up: those with original
+         slack in [stall - catch_up, stall). *)
+      let tree_loss tau =
+        if tau <= 0.0 then 0.0 else Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau
+      in
+      lost -. tree_loss (stall -. catch_up)
+    end
+  in
+  (lost, recovered)

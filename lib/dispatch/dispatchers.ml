@@ -11,7 +11,11 @@ let name t = t.name
 
 (* Decision-latency wrapper, mirroring [Schedulers.timed]: handles
    resolved once per instantiation, raw dispatch returned when the
-   sink is disabled. *)
+   sink is disabled. A dispatch that raises (e.g. [no_server] during
+   pool churn) still took a decision and still spent the time, so the
+   latency observation and the decision count are recorded on both
+   exits — otherwise [dispatch.decision_ns] silently under-reports
+   exactly the churny intervals it should be illuminating. *)
 let timed obs dispatch =
   if not (Obs.enabled obs) then dispatch
   else begin
@@ -19,13 +23,20 @@ let timed obs dispatch =
     let lat = Obs.Registry.histogram reg "dispatch.decision_ns" in
     let n = Obs.Registry.counter reg "dispatch.decisions" in
     let rejected = Obs.Registry.counter reg "dispatch.rejected" in
+    let record t0 =
+      Obs.Registry.observe lat (Int64.to_float (Int64.sub (Obs.now_ns ()) t0));
+      Obs.Registry.incr n
+    in
     fun sim q ->
       let t0 = Obs.now_ns () in
-      let d = dispatch sim q in
-      Obs.Registry.observe lat (Int64.to_float (Int64.sub (Obs.now_ns ()) t0));
-      Obs.Registry.incr n;
-      if d.Sim.target = None then Obs.Registry.incr rejected;
-      d
+      match dispatch sim q with
+      | d ->
+        record t0;
+        if d.Sim.target = None then Obs.Registry.incr rejected;
+        d
+      | exception e ->
+        record t0;
+        raise e
   end
 
 (* Each run gets a fresh closure so stateful dispatchers (Round-Robin's
@@ -117,65 +128,151 @@ let lwl =
    impact ... is computed based on the execution time of q on Si"):
    each server sees execution times scaled by its own speed, so the
    what-if is evaluated on speed-adjusted copies of the queries. *)
-let insertion_profit planner sim sid q =
+let scale_query speed query =
+  if speed = 1.0 then query
+  else
+    Query.make ~id:query.Query.id ~arrival:query.Query.arrival
+      ~size:query.Query.size
+      ~est_size:(query.Query.est_size /. speed)
+      ~sla:query.Query.sla ()
+
+let insertion_profit ?impl ?arena planner sim sid q =
   let srv = Sim.server sim sid in
   let speed = srv.Sim.speed in
-  let scale query =
-    if speed = 1.0 then query
-    else
-      Query.make ~id:query.Query.id ~arrival:query.Query.arrival
-        ~size:query.Query.size
-        ~est_size:(query.Query.est_size /. speed)
-        ~sla:query.Query.sla ()
-  in
   let free_at = Sim.est_free_at sim srv in
   let buffer = Sim.buffer_array srv in
   let planned =
-    Array.map scale (Planner.planned_queries planner ~now:(Sim.now sim) buffer)
+    Array.map (scale_query speed)
+      (Planner.planned_queries planner ~now:(Sim.now sim) buffer)
   in
-  let tree = Sla_tree.of_entries ~now:free_at (Schedule.of_queries ~now:free_at planned) in
-  let q' = scale q in
+  let tree =
+    Sla_tree.of_entries ?impl ?arena ~now:free_at
+      (Schedule.of_queries ~now:free_at planned)
+  in
+  let q' = scale_query speed q in
   let pos = Planner.insertion_rank planner ~now:(Sim.now sim) planned q' in
   What_if.insertion_delta tree ~query:q' ~pos
+
+(* Memoized what-if probes: one cached SLA-tree per server, rebuilt
+   only when the server's event generation or anchor time moved.
+
+   Validity argument. The tree's contents are a pure function of
+   (planned buffer, speed, free_at): [Sim.gen] bumps on every event
+   that can change the buffer, the running query or the speed, and
+   [free_at] covers the one remaining input (an idle or overrun
+   server's anchor is [now] itself, which moves between arrivals with
+   no event). The planned order is reused too, which is only sound for
+   time-invariant planners — the caller gates on
+   [Planner.time_invariant]. Each cache entry owns its arena (an arena
+   holds one live tree), so steady-state rebuilds allocate nothing.
+
+   An empty buffer short-circuits: inserting into an empty schedule
+   postpones nobody, and the tree path reduces to exactly
+   [profit_at q' ~completion:(free_at + est)] — same floats, no tree. *)
+type probe_cache = {
+  mutable gen : int;
+  mutable free_at : float;
+  mutable planned : Query.t array;
+  mutable tree : Sla_tree.t;
+  arena : Sla_tree.arena;
+}
+
+let cached_insertion_profit ?impl planner =
+  let caches : probe_cache option array ref = ref [||] in
+  let entry_of sid =
+    let n = Array.length !caches in
+    if sid >= n then begin
+      let grown = Array.make (max (sid + 1) (max 8 (2 * n))) None in
+      Array.blit !caches 0 grown 0 n;
+      caches := grown
+    end;
+    match !caches.(sid) with
+    | Some e -> e
+    | None ->
+      let e =
+        {
+          gen = -1;
+          free_at = nan;
+          planned = [||];
+          tree = Sla_tree.of_entries ?impl ~now:0.0 [||];
+          arena = Sla_tree.create_arena ();
+        }
+      in
+      !caches.(sid) <- Some e;
+      e
+  in
+  fun sim sid q ->
+    let srv = Sim.server sim sid in
+    let speed = srv.Sim.speed in
+    let q' = scale_query speed q in
+    let free_at = Sim.est_free_at sim srv in
+    if Sim.buffer_length srv = 0 then
+      Query.profit_at q' ~completion:(free_at +. q'.Query.est_size)
+    else begin
+      let e = entry_of sid in
+      if e.gen <> srv.Sim.gen || e.free_at <> free_at then begin
+        let buffer = Sim.buffer_array srv in
+        let planned =
+          Array.map (scale_query speed)
+            (Planner.planned_queries planner ~now:(Sim.now sim) buffer)
+        in
+        e.planned <- planned;
+        e.tree <-
+          Sla_tree.of_entries ?impl ~arena:e.arena ~now:free_at
+            (Schedule.of_queries ~now:free_at planned);
+        e.gen <- srv.Sim.gen;
+        e.free_at <- free_at
+      end;
+      let pos =
+        Planner.insertion_rank_sorted planner ~now:(Sim.now sim) e.planned q'
+      in
+      What_if.insertion_delta e.tree ~query:q' ~pos
+    end
 
 (* SLA-tree dispatching. Profit decides; exact profit ties (common
    when every candidate server meets the query's deadline anyway) fall
    back to least work left, so indifference does not pile queries onto
    server 0. With [admission] set, a query whose best profit delta is
    negative is rejected outright. *)
-let sla_tree_with ~name profit_of ~admission =
-  {
-    name;
-    make =
-      (fun () sim q ->
-        let m = Sim.n_servers sim in
-        let best = ref (-1)
-        and best_delta = ref neg_infinity
-        and best_work = ref infinity in
-        for sid = 0 to m - 1 do
-          if Sim.dispatchable sim sid then begin
-            let d = profit_of sim sid q in
-            let w = Sim.est_work_left sim (Sim.server sim sid) in
-            if
-              !best < 0 || d > !best_delta
-              || (d = !best_delta && w < !best_work)
-            then begin
-              best := sid;
-              best_delta := d;
-              best_work := w
-            end
-          end
-        done;
-        if !best < 0 then no_server ();
-        if admission && !best_delta < 0.0 then
-          { Sim.target = None; est_delta = Some !best_delta }
-        else { Sim.target = Some !best; est_delta = Some !best_delta });
-  }
+let argmax_profit ~admission profit_of sim q =
+  let m = Sim.n_servers sim in
+  let best = ref (-1)
+  and best_delta = ref neg_infinity
+  and best_work = ref infinity in
+  for sid = 0 to m - 1 do
+    if Sim.dispatchable sim sid then begin
+      let d = profit_of sim sid q in
+      let w = Sim.est_work_left sim (Sim.server sim sid) in
+      if !best < 0 || d > !best_delta || (d = !best_delta && w < !best_work)
+      then begin
+        best := sid;
+        best_delta := d;
+        best_work := w
+      end
+    end
+  done;
+  if !best < 0 then no_server ();
+  if admission && !best_delta < 0.0 then
+    { Sim.target = None; est_delta = Some !best_delta }
+  else { Sim.target = Some !best; est_delta = Some !best_delta }
 
-let sla_tree ?(admission = false) planner =
-  sla_tree_with
-    ~name:(if admission then "SLA-tree+AC" else "SLA-tree")
-    (insertion_profit planner) ~admission
+let sla_tree_with ~name profit_of ~admission =
+  { name; make = (fun () -> argmax_profit ~admission profit_of) }
+
+(* The candidate loop memoizes per-server trees whenever the planner's
+   order cannot depend on the decision time; [?memo:false] forces the
+   historical rebuild-per-candidate behavior (the test oracle), and
+   CBS-style time-dependent planners fall back to it on their own. *)
+let sla_tree ?(admission = false) ?(memo = true) ?impl planner =
+  let name = if admission then "SLA-tree+AC" else "SLA-tree" in
+  if memo && Planner.time_invariant planner then
+    {
+      name;
+      make =
+        (fun () ->
+          argmax_profit ~admission (cached_insertion_profit ?impl planner));
+    }
+  else sla_tree_with ~name (insertion_profit ?impl planner) ~admission
 
 (* The incremental FCFS fast path. Under FCFS the newcomer always
    ranks last ([insertion_rank] = N), so [What_if.insertion_delta]

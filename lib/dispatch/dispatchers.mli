@@ -26,14 +26,30 @@ val round_robin : t
 val lwl : t
 
 (** Profit delta of inserting [q] into server [sid]'s buffer as planned
-    by [planner] (exposed for tests and capacity planning). *)
-val insertion_profit : Planner.t -> Sim.t -> int -> Query.t -> float
+    by [planner] (exposed for tests and capacity planning). [?impl]
+    picks the tree representation; [?arena] reuses flat-tree storage
+    across calls. *)
+val insertion_profit :
+  ?impl:Sla_tree.impl ->
+  ?arena:Sla_tree.arena ->
+  Planner.t ->
+  Sim.t ->
+  int ->
+  Query.t ->
+  float
 
 (** SLA-tree dispatching: argmax of {!insertion_profit} over servers
     (exact profit ties fall back to least work left); reports the
     chosen delta through [est_delta]. With [admission], queries whose
-    best delta is negative are rejected. *)
-val sla_tree : ?admission:bool -> Planner.t -> t
+    best delta is negative are rejected.
+
+    For time-invariant planners the candidate loop memoizes one
+    SLA-tree per server, keyed on the server's event generation and
+    anchor time, rebuilding only when the server actually changed —
+    identical decisions to the rebuild-per-candidate path.
+    [?memo:false] disables the cache (the equivalence oracle); [?impl]
+    selects the tree representation. *)
+val sla_tree : ?admission:bool -> ?memo:bool -> ?impl:Sla_tree.impl -> Planner.t -> t
 
 (** O(1)-per-server profit of appending [q] to server [sid]'s FCFS
     schedule: under FCFS the newcomer ranks last and postpones nobody,

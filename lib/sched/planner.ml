@@ -10,9 +10,17 @@
 type t = {
   name : string;
   permutation : now:float -> Query.t array -> int array;
+  time_invariant : bool;
+      (* whether the permutation is independent of [now]; probe caches
+         may only reuse a planned order across arrivals when true *)
+  keys : (now:float -> Query.t -> float * float) option;
+      (* for planners that are a stable sort on a lexicographic float
+         pair: the sort key. Enables O(log n) insertion ranking over an
+         already-planned buffer. *)
 }
 
 let name t = t.name
+let time_invariant t = t.time_invariant
 
 let plan t ~now buffer =
   let perm = t.permutation ~now buffer in
@@ -37,13 +45,31 @@ let by_key key =
   idx
 
 let fcfs =
-  { name = "FCFS"; permutation = (fun ~now:_ b -> Array.init (Array.length b) Fun.id) }
+  {
+    name = "FCFS";
+    permutation = (fun ~now:_ b -> Array.init (Array.length b) Fun.id);
+    time_invariant = true;
+    (* identity order = a stable sort on a constant key: everything
+       ties, and the newcomer (latest arrival) loses every tie, so the
+       sorted insertion rank correctly lands at the end. *)
+    keys = Some (fun ~now:_ _ -> (0.0, 0.0));
+  }
 
 let sjf =
-  { name = "SJF"; permutation = by_key (fun ~now:_ q -> q.Query.est_size) }
+  {
+    name = "SJF";
+    permutation = by_key (fun ~now:_ q -> q.Query.est_size);
+    time_invariant = true;
+    keys = Some (fun ~now:_ q -> (q.Query.est_size, 0.0));
+  }
 
 let edf =
-  { name = "EDF"; permutation = by_key (fun ~now:_ q -> Query.first_deadline q) }
+  {
+    name = "EDF";
+    permutation = by_key (fun ~now:_ q -> Query.first_deadline q);
+    time_invariant = true;
+    keys = Some (fun ~now:_ q -> (Query.first_deadline q, 0.0));
+  }
 
 (* Stable sort on a lexicographic pair of keys. *)
 let by_key_pair key =
@@ -67,12 +93,15 @@ let by_key_pair key =
    in Sec 2.3): queries carry a value (their best-case SLA gain) and a
    hard deadline; higher-value queries run first, earliest deadline
    breaks value ties. *)
+let value_edf_key ~now:_ q =
+  (-.Sla.max_gain q.Query.sla, Query.first_deadline q)
+
 let value_edf =
   {
     name = "Value-EDF";
-    permutation =
-      by_key_pair (fun ~now:_ q ->
-          (-.Sla.max_gain q.Query.sla, Query.first_deadline q));
+    permutation = by_key_pair value_edf_key;
+    time_invariant = true;
+    keys = Some value_edf_key;
   }
 
 (* Cost-based scheduling (Peha-Tobagi [15], as used in Sec 7.2): order
@@ -90,6 +119,11 @@ let cbs ~rate =
   {
     name = "CBS";
     permutation = by_key (fun ~now q -> -.cbs_priority ~rate ~now q);
+    (* The priority depends on elapsed waiting time, so the planned
+       order can change between arrivals with no server event at all:
+       never cache a CBS plan. *)
+    time_invariant = false;
+    keys = Some (fun ~now q -> (-.cbs_priority ~rate ~now q, 0.0));
   }
 
 (* Rank a new query within a planned buffer: the position it would take
@@ -102,3 +136,27 @@ let insertion_rank t ~now buffer query =
   let perm = t.permutation ~now extended in
   let rec find k = if perm.(k) = n then k else find (k + 1) in
   find 0
+
+(* O(log n) insertion rank over a buffer ALREADY in planned order (the
+   output of [planned_queries]). Because planners are stable sorts and
+   the newcomer carries the latest arrival, it loses every key tie: its
+   rank is the number of planned entries whose key pair is <= its own.
+   Equals [insertion_rank] on a planned buffer; falls back to it when
+   the planner has no key form. *)
+let insertion_rank_sorted t ~now buffer query =
+  match t.keys with
+  | None -> insertion_rank t ~now buffer query
+  | Some key ->
+    let k1, k2 = key ~now query in
+    let gt q =
+      let e1, e2 = key ~now q in
+      let c = Float.compare e1 k1 in
+      if c <> 0 then c > 0 else Float.compare e2 k2 > 0
+    in
+    (* First index whose key pair exceeds the newcomer's. *)
+    let lo = ref 0 and hi = ref (Array.length buffer) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if gt buffer.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo

@@ -9,6 +9,11 @@ type t
 
 val name : t -> string
 
+(** Whether the planned order is independent of the decision time
+    [now]. Probe caches may only reuse a plan across arrivals when
+    true (CBS is the time-dependent exception). *)
+val time_invariant : t -> bool
+
 (** [plan t ~now buffer] is the permutation: [perm.(k)] is the buffer
     index of the k-th query to execute. *)
 val plan : t -> now:float -> Query.t array -> int array
@@ -39,3 +44,9 @@ val cbs_priority : rate:float -> now:float -> Query.t -> float
 (** Position the query would take if inserted into the planned order
     of [buffer]; in [0 .. length buffer]. *)
 val insertion_rank : t -> now:float -> Query.t array -> Query.t -> int
+
+(** Same answer as {!insertion_rank} when [buffer] is already in
+    planned order (the output of {!planned_queries}), but O(log n) for
+    the built-in key-sort planners: the newcomer loses every tie, so
+    its rank is the count of entries with key [<=] its own. *)
+val insertion_rank_sorted : t -> now:float -> Query.t array -> Query.t -> int

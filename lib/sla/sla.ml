@@ -10,11 +10,41 @@
 
 type level = { bound : float; gain : float }
 
-type t = { levels : level array; penalty : float }
+type component = { comp_bound : float; comp_gain : float }
+
+type t = { levels : level array; penalty : float; comps : component array }
 
 exception Invalid of string
 
 let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+(* Decomposition into g/0 components (Sec 4.2, Fig 8): profit(r) =
+   offset + sum over components of (gain_k if r <= bound_k else 0),
+   where offset = -penalty. Component gains are non-negative by the
+   validation in [make]. Components with zero gain are dropped; they
+   would create leaves that can never change any answer. Precomputed
+   once here — the SLA-tree build expands every buffered query into
+   units on each rebuild, and must not re-derive the decomposition. *)
+let components_of levels penalty =
+  let n = Array.length levels in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let next_gain = if i = n - 1 then -.penalty else levels.(i + 1).gain in
+    if levels.(i).gain -. next_gain > 0.0 then incr count
+  done;
+  let comps =
+    Array.make !count { comp_bound = 0.0; comp_gain = 0.0 }
+  in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let next_gain = if i = n - 1 then -.penalty else levels.(i + 1).gain in
+    let g = levels.(i).gain -. next_gain in
+    if g > 0.0 then begin
+      comps.(!k) <- { comp_bound = levels.(i).bound; comp_gain = g };
+      incr k
+    end
+  done;
+  comps
 
 let make ~levels ~penalty =
   let levels = Array.of_list levels in
@@ -34,7 +64,7 @@ let make ~levels ~penalty =
     levels;
   if levels.(Array.length levels - 1).gain < -.penalty then
     invalid "last gain must be >= -penalty (profit is non-increasing)";
-  { levels; penalty }
+  { levels; penalty; comps = components_of levels penalty }
 
 let single_step ~bound ~gain = make ~levels:[ { bound; gain } ] ~penalty:0.0
 let one_zero ~bound = single_step ~bound ~gain:1.0
@@ -61,23 +91,13 @@ let profit t ~response =
    (the paper's reported metric, Sec 7.1). *)
 let loss_vs_ideal t ~response = max_gain t -. profit t ~response
 
-(* Decomposition into g/0 components (Sec 4.2, Fig 8): profit(r) =
-   offset + sum over components of (gain_k if r <= bound_k else 0),
-   where offset = -penalty. Component gains are non-negative by the
-   validation in [make]. Components with zero gain are dropped; they
-   would create leaves that can never change any answer. *)
-type component = { comp_bound : float; comp_gain : float }
+(* The precomputed component array, bounds ascending. Hot-path callers
+   (slack-unit expansion) index this directly instead of walking the
+   list from [decompose]. *)
+let components t = t.comps
+let num_components t = Array.length t.comps
 
-let decompose t =
-  let n = Array.length t.levels in
-  let comps = ref [] in
-  for i = n - 1 downto 0 do
-    let next_gain = if i = n - 1 then -.t.penalty else t.levels.(i + 1).gain in
-    let g = t.levels.(i).gain -. next_gain in
-    if g > 0.0 then
-      comps := { comp_bound = t.levels.(i).bound; comp_gain = g } :: !comps
-  done;
-  (!comps, -.t.penalty)
+let decompose t = (Array.to_list t.comps, -.t.penalty)
 
 (* Reconstruct the profit from a decomposition — used by tests and by
    the naive reference implementation. *)

@@ -52,6 +52,13 @@ type component = { comp_bound : float; comp_gain : float }
     Components are ordered by increasing bound. *)
 val decompose : t -> component list * float
 
+(** The decomposition's components as an array, bounds ascending,
+    precomputed at {!make} time. Callers must not mutate it. *)
+val components : t -> component array
+
+(** [Array.length (components t)]. *)
+val num_components : t -> int
+
 (** Inverse of {!decompose}; equals [profit] for every response time. *)
 val profit_of_decomposition : component list * float -> response:float -> float
 

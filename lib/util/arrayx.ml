@@ -23,6 +23,19 @@ let find_last_leq cmp a key =
   done;
   !lo
 
+(* [find_last_leq] over the int slice [a.(off) .. a.(off + len - 1)]:
+   the slice-relative index of the largest element <= key, or -1. The
+   flat SLA-tree stores every node's id list inside one pooled array,
+   so its root search works on (offset, length) slices. *)
+let find_last_leq_int_range (a : int array) ~off ~len key =
+  let lo = ref (-1) in
+  let hi = ref (len - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if a.(off + mid) <= key then lo := mid else hi := mid - 1
+  done;
+  !lo
+
 (* Index of the first element >= key, or [length a] when none. *)
 let find_first_geq cmp a key =
   let n = Array.length a in

@@ -12,6 +12,12 @@ val is_strictly_sorted : ('a -> 'a -> int) -> 'a array -> bool
     greater. O(log n). *)
 val find_last_leq : ('a -> 'a -> int) -> 'a array -> 'a -> int
 
+(** [find_last_leq_int_range a ~off ~len key] is {!find_last_leq}
+    restricted to the int slice [a.(off) .. a.(off + len - 1)],
+    returning a slice-relative index (or [-1]). Used by the flat
+    SLA-tree, whose id lists live inside one pooled array. *)
+val find_last_leq_int_range : int array -> off:int -> len:int -> int -> int
+
 (** [find_first_geq cmp a key] is the index of the first element
     [>= key], or [Array.length a] when none. O(log n). *)
 val find_first_geq : ('a -> 'a -> int) -> 'a array -> 'a -> int

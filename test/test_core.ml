@@ -503,6 +503,141 @@ let test_stall_impact () =
   check_float "full catch-up recovers all" 2.0 recovered3
 
 (* ------------------------------------------------------------------ *)
+(* Regressions: empty-buffer probes, maintenance-slot tie-breaking and
+   the pre-sized unit expansion. *)
+
+let test_empty_tree_probes () =
+  let tree = Sla_tree.build ~now:0.0 [||] in
+  check_int "length" 0 (Sla_tree.length tree);
+  check_float "postpone" 0.0 (Sla_tree.postpone tree ~m:0 ~n:(-1) ~tau:5.0);
+  check_float "expedite" 0.0 (Sla_tree.expedite tree ~m:0 ~n:(-1) ~tau:5.0);
+  check_float "any range answers 0" 0.0 (Sla_tree.postpone tree ~m:3 ~n:7 ~tau:1.0);
+  check_float "insertion into empty = own profit" 2.0
+    (What_if.insertion_delta tree ~query:(mk_query 0 0.0 1.0 100.0 2.0) ~pos:0);
+  check_bool "negative tau still raises" true
+    (match Sla_tree.postpone tree ~m:0 ~n:(-1) ~tau:(-1.0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_empty_tree_whatif () =
+  (* The applications need no emptiness guards of their own: every
+     question over an empty buffer answers 0 / None through the probe
+     layer. *)
+  let tree = Sla_tree.build ~now:0.0 [||] in
+  check_bool "best_rush none" true (What_if.best_rush tree = None);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "recovery curve all zero"
+    [ (1.0, 0.0); (10.0, 0.0) ]
+    (What_if.recovery_curve tree ~taus:[ 1.0; 10.0 ]);
+  let lost, recovered = What_if.stall_impact tree ~stall:5.0 ~catch_up:2.0 in
+  check_float "nothing lost" 0.0 lost;
+  check_float "nothing recovered" 0.0 recovered;
+  match What_if.best_maintenance_slot tree ~duration:10.0 with
+  | Some (0, loss) -> check_float "slot 0 free" 0.0 loss
+  | Some (p, l) -> Alcotest.failf "expected slot 0, got %d (loss %g)" p l
+  | None -> Alcotest.fail "no slot"
+
+let test_maintenance_slot_latest_on_ties () =
+  (* Every query is so relaxed that any pause loses nothing: all n+1
+     slots tie at 0.0 and the latest must win (maintenance as late as
+     possible). *)
+  let qs = Array.init 4 (fun i -> mk_query i 0.0 1.0 1000.0 1.0) in
+  let tree = Sla_tree.build ~now:0.0 qs in
+  (match What_if.best_maintenance_slot tree ~duration:2.0 with
+  | Some (4, loss) -> check_float "latest slot" 0.0 loss
+  | Some (p, l) -> Alcotest.failf "expected slot 4, got %d (loss %g)" p l
+  | None -> Alcotest.fail "no slot");
+  (* With a latest-start cap the latest ALLOWED slot wins the tie:
+     unit sizes put slot p's start at p, so 2.5 allows slots 0..2. *)
+  match What_if.best_maintenance_slot ~latest_start:2.5 tree ~duration:2.0 with
+  | Some (2, loss) -> check_float "latest allowed slot" 0.0 loss
+  | Some (p, l) -> Alcotest.failf "expected slot 2, got %d (loss %g)" p l
+  | None -> Alcotest.fail "no slot"
+
+let prop_maintenance_slot_matches_reference =
+  (* The downto/strict-< scan equals the spec: minimum loss, latest
+     slot on ties. Both sides compute losses by the same expression, so
+     comparison is exact — no float-equality tie-break is involved. *)
+  QCheck.Test.make ~name:"maintenance slot == latest-argmin reference" ~count:300
+    QCheck.(pair arb_buffer (QCheck.float_range 0.0 60.0))
+    (fun (qs, duration) ->
+      let tree = Sla_tree.build ~now qs in
+      let n = Sla_tree.length tree in
+      let loss p =
+        if p >= n then 0.0
+        else Sla_tree.postpone tree ~m:p ~n:(n - 1) ~tau:duration
+      in
+      let best = ref (0, loss 0) in
+      for p = 1 to n do
+        let l = loss p in
+        let _, bl = !best in
+        if l <= bl then best := (p, l)
+      done;
+      What_if.best_maintenance_slot tree ~duration = Some !best)
+
+(* The historical list-based unit expansion, kept as the reference the
+   pre-sized two-pass implementation must match byte for byte. *)
+let reference_units entries =
+  let units = ref [] in
+  Array.iteri
+    (fun pos e ->
+      let comps, _ = Sla.decompose e.Schedule.query.Query.sla in
+      List.iter
+        (fun { Sla.comp_bound; comp_gain } ->
+          units :=
+            {
+              Slack_units.uid = pos;
+              slack = Schedule.slack e ~bound:comp_bound;
+              gain = comp_gain;
+            }
+            :: !units)
+        comps)
+    entries;
+  Array.of_list (List.rev !units)
+
+let unit_eq a b =
+  a.Slack_units.uid = b.Slack_units.uid
+  && Int64.equal
+       (Int64.bits_of_float a.Slack_units.slack)
+       (Int64.bits_of_float b.Slack_units.slack)
+  && Int64.equal
+       (Int64.bits_of_float a.Slack_units.gain)
+       (Int64.bits_of_float b.Slack_units.gain)
+
+let units_eq a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i u -> if not (unit_eq u b.(i)) then ok := false) a;
+       !ok
+     end
+
+let prop_slack_units_presized_identical =
+  QCheck.Test.make ~name:"pre-sized expansion == list-based reference" ~count:300
+    arb_buffer
+    (fun qs ->
+      let entries = Schedule.of_queries ~now qs in
+      let units = Slack_units.of_schedule entries in
+      let refu = reference_units entries in
+      let pos, neg = Slack_units.partition units in
+      let rpos =
+        Array.of_list
+          (List.filter
+             (fun u -> u.Slack_units.slack >= 0.0)
+             (Array.to_list refu))
+      in
+      let rneg =
+        Array.of_list
+          (List.filter_map
+             (fun u ->
+               if u.Slack_units.slack < 0.0 then
+                 Some { u with Slack_units.slack = -.u.Slack_units.slack }
+               else None)
+             (Array.to_list refu))
+      in
+      units_eq units refu && units_eq pos rpos && units_eq neg rneg)
+
+(* ------------------------------------------------------------------ *)
 (* Table 7: the greedy counterexample, and the offline never-worse
    property (Sec 8.2). *)
 
@@ -584,6 +719,7 @@ let () =
           qtest prop_cascading_equals_binary_search;
           qtest prop_invariants_hold;
           qtest prop_unit_partition_signs;
+          qtest prop_slack_units_presized_identical;
         ] );
       ( "oracle-equivalence",
         [
@@ -601,6 +737,7 @@ let () =
           Alcotest.test_case "bad arguments" `Quick test_facade_bad_args;
           Alcotest.test_case "unit counts" `Quick test_facade_unit_counts;
           Alcotest.test_case "profit at stake" `Quick test_facade_profit_at_stake;
+          Alcotest.test_case "empty buffer probes" `Quick test_empty_tree_probes;
         ] );
       ( "what-if",
         [
@@ -616,6 +753,10 @@ let () =
           qtest prop_recovery_curve_monotone;
           Alcotest.test_case "maintenance slot" `Quick test_best_maintenance_slot;
           Alcotest.test_case "stall impact" `Quick test_stall_impact;
+          Alcotest.test_case "empty buffer what-ifs" `Quick test_empty_tree_whatif;
+          Alcotest.test_case "maintenance ties resolve late" `Quick
+            test_maintenance_slot_latest_on_ties;
+          qtest prop_maintenance_slot_matches_reference;
         ] );
       ( "greedy-limits",
         [

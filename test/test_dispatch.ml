@@ -309,6 +309,40 @@ let test_sla_tree_beats_lwl_end_to_end () =
     (Printf.sprintf "tree %.3f < lwl %.3f" tree lwl)
     true (tree < lwl)
 
+(* ------------------------------------------------------------------ *)
+(* Observability under faults: a dispatch that raises (a pool crash
+   leaves no server accepting work) still took a decision and still
+   spent the time, so the timed wrapper must record the latency and
+   the decision count before re-raising — otherwise the telemetry
+   silently under-reports exactly the churny intervals it should be
+   illuminating. *)
+
+let test_timed_records_raising_dispatch () =
+  let obs = Obs.create () in
+  let metrics = Metrics.create ~warmup_id:0 () in
+  (* q0 occupies the only server; a timer crashes it mid-run, so q1's
+     arrival finds no dispatchable server and the dispatch raises. *)
+  let queries = [| mk 0 0.0 20.0; mk 1 10.0 1.0 |] in
+  let timers =
+    [| (5.0, fun sim -> ignore (Sim.crash_server sim 0 : Query.t list)) |]
+  in
+  let raised =
+    match
+      Sim.run ~queries ~n_servers:1 ~pick_next:fcfs_pick
+        ~dispatch:(Dispatchers.instantiate ~obs (Dispatchers.sla_tree Planner.fcfs))
+        ~timers ~metrics ()
+    with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "no-server raise propagates" true raised;
+  let reg = Obs.registry obs in
+  check_int "raising decision still counted" 2
+    (Obs.Registry.count (Obs.Registry.counter reg "dispatch.decisions"));
+  check_int "raising decision latency still observed" 2
+    (Obs.Registry.observations
+       (Obs.Registry.histogram reg "dispatch.decision_ns"))
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let prop_dispatch_always_valid_server =
@@ -373,6 +407,11 @@ let () =
           Alcotest.test_case "heterogeneous end-to-end" `Slow
             test_heterogeneous_end_to_end;
           Alcotest.test_case "names" `Quick test_names;
+        ] );
+      ( "timed-wrapper",
+        [
+          Alcotest.test_case "raising dispatch is recorded" `Quick
+            test_timed_records_raising_dispatch;
         ] );
       ( "end-to-end",
         [

@@ -232,6 +232,188 @@ let prop_dispatcher_equiv_random_seeds =
       in
       mismatches = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Flat vs boxed representation, memoized vs rebuild-per-candidate:
+   the default dispatcher (memoized probes over the flat arena-backed
+   tree) against the historical oracle (no cache, boxed tree, rebuilt
+   for every candidate), decision by decision on identical state. *)
+
+let run_dispatcher_flat_boxed ?speeds ?ticker ?timers ?(planner = Planner.fcfs)
+    ?(admission = false) ~queries ~servers () =
+  let d_flat =
+    Dispatchers.instantiate (Dispatchers.sla_tree ~admission planner)
+  in
+  let d_boxed =
+    Dispatchers.instantiate
+      (Dispatchers.sla_tree ~admission ~memo:false ~impl:Sla_tree.Boxed planner)
+  in
+  let decisions = ref 0 and mismatches = ref 0 in
+  let dispatch sim q =
+    let a = d_flat sim q in
+    let b = d_boxed sim q in
+    incr decisions;
+    if a.Sim.target <> b.Sim.target then incr mismatches;
+    a
+  in
+  let metrics = Metrics.create ~warmup_id:0 () in
+  Sim.run ?speeds ?ticker ?timers ~queries ~n_servers:servers
+    ~pick_next:(Schedulers.pick (Schedulers.of_planner planner))
+    ~dispatch ~metrics ();
+  (!decisions, !mismatches)
+
+let test_flat_boxed_dispatch_exp () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:0.95 ~servers:4
+      ~n_queries:1_500 ~seed:1201
+  in
+  let decisions, mismatches =
+    run_dispatcher_flat_boxed ~queries ~servers:4 ()
+  in
+  check_int "every arrival through both" 1_500 decisions;
+  check_int "no target mismatches" 0 mismatches
+
+let test_flat_boxed_dispatch_sorted_planners () =
+  (* Non-FCFS time-invariant planners exercise the O(log n) sorted
+     insertion rank against the oracle's append-and-sort rank. *)
+  let queries =
+    trace ~kind:Workloads.Pareto ~sigma2:0.5 ~load:1.0 ~servers:3
+      ~n_queries:1_200 ~seed:1202
+  in
+  List.iter
+    (fun planner ->
+      let _, mismatches =
+        run_dispatcher_flat_boxed ~planner ~queries ~servers:3 ()
+      in
+      check_int
+        (Printf.sprintf "no mismatches under %s" (Planner.name planner))
+        0 mismatches)
+    [ Planner.sjf; Planner.edf; Planner.value_edf ]
+
+let test_flat_boxed_dispatch_heterogeneous_admission () =
+  let queries =
+    trace ~kind:Workloads.Pareto ~sigma2:1.0 ~load:1.4 ~servers:3
+      ~n_queries:1_200 ~seed:1203
+  in
+  let _, mismatches =
+    run_dispatcher_flat_boxed ~speeds:[| 1.0; 0.5; 2.0 |] ~admission:true
+      ~queries ~servers:3 ()
+  in
+  check_int "no accept/reject mismatches" 0 mismatches
+
+let test_flat_boxed_dispatch_elastic () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.1 ~servers:3
+      ~n_queries:1_500 ~seed:1204
+  in
+  let decisions, mismatches =
+    run_dispatcher_flat_boxed ~ticker:(400.0, scale_script ()) ~queries
+      ~servers:3 ()
+  in
+  check_bool "dispatched (arrivals + redistributions)" true (decisions >= 1_500);
+  check_int "no mismatches across scale events" 0 mismatches
+
+(* Fault scenario: a brownout, a crash whose orphans retry through the
+   dispatcher, and two repairs. Crashes void cached probe state, so
+   this is the sharpest test of the generation-keyed memoization. *)
+let fault_timers () =
+  [|
+    (250.0, fun sim -> Sim.degrade_server sim 0 ~factor:0.4);
+    ( 400.0,
+      fun sim ->
+        List.iter
+          (fun q -> Sim.reinject sim (Query.retried q))
+          (Sim.crash_server sim 1) );
+    (650.0, fun sim -> Sim.restore_server sim 0);
+    (800.0, fun sim -> Sim.restore_server sim 1);
+  |]
+
+let test_flat_boxed_dispatch_faults () =
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.0 ~servers:3
+      ~n_queries:1_500 ~seed:1205
+  in
+  let decisions, mismatches =
+    run_dispatcher_flat_boxed ~timers:(fault_timers ()) ~queries ~servers:3 ()
+  in
+  check_bool "dispatched (arrivals + retries)" true (decisions >= 1_500);
+  check_int "no mismatches across crash/brownout/repair" 0 mismatches
+
+let prop_flat_boxed_dispatch_random_seeds =
+  QCheck.Test.make ~name:"memoized flat == boxed oracle over random seeds"
+    ~count:8
+    QCheck.(triple (int_bound 100_000) bool bool)
+    (fun (seed, heavy, sorted) ->
+      let kind = if heavy then Workloads.Pareto else Workloads.Exp in
+      let planner = if sorted then Planner.sjf else Planner.fcfs in
+      let queries =
+        trace ~kind ~sigma2:0.2 ~load:1.0 ~servers:3 ~n_queries:800 ~seed
+      in
+      let _, mismatches =
+        run_dispatcher_flat_boxed ~planner ~queries ~servers:3 ()
+      in
+      mismatches = 0)
+
+let test_flat_boxed_dispatch_metrics_equal () =
+  (* Whole-trajectory check through the public API: the memoized flat
+     default must reproduce the boxed no-cache oracle's end-to-end
+     metrics bit-for-bit. *)
+  let queries =
+    trace ~kind:Workloads.Exp ~sigma2:0.2 ~load:1.0 ~servers:3
+      ~n_queries:1_500 ~seed:1206
+  in
+  let run d =
+    let metrics = Metrics.create ~warmup_id:500 () in
+    Sim.run ~queries ~n_servers:3
+      ~pick_next:(Schedulers.pick Schedulers.fcfs)
+      ~dispatch:(Dispatchers.instantiate d)
+      ~metrics ();
+    metrics
+  in
+  let a = run (Dispatchers.sla_tree Planner.fcfs) in
+  let b = run (Dispatchers.sla_tree ~memo:false ~impl:Sla_tree.Boxed Planner.fcfs) in
+  Alcotest.(check (float 0.0))
+    "identical avg loss" (Metrics.avg_loss a) (Metrics.avg_loss b);
+  Alcotest.(check (float 0.0))
+    "identical avg response" (Metrics.avg_response a) (Metrics.avg_response b);
+  check_int "identical late count" (Metrics.late_count a) (Metrics.late_count b)
+
+let run_scheduler_flat_boxed ~planner ~queries ~servers () =
+  let flat = Schedulers.pick (Schedulers.with_sla_tree planner) in
+  let boxed =
+    Schedulers.pick (Schedulers.with_sla_tree ~impl:Sla_tree.Boxed planner)
+  in
+  let decisions = ref 0 and mismatches = ref 0 in
+  let pick ~now buffer =
+    let a = flat ~now buffer in
+    let b = boxed ~now buffer in
+    incr decisions;
+    if a <> b then incr mismatches;
+    a
+  in
+  let metrics = Metrics.create ~warmup_id:0 () in
+  Sim.run ~queries ~n_servers:servers ~pick_next:pick
+    ~dispatch:(Dispatchers.instantiate Dispatchers.lwl)
+    ~metrics ();
+  (!decisions, !mismatches)
+
+let test_flat_boxed_scheduler () =
+  List.iter
+    (fun (planner, seed) ->
+      let queries =
+        trace ~kind:Workloads.Pareto ~sigma2:0.5 ~load:1.05 ~servers:2
+          ~n_queries:1_000 ~seed
+      in
+      let decisions, mismatches =
+        run_scheduler_flat_boxed ~planner ~queries ~servers:2 ()
+      in
+      check_bool
+        (Printf.sprintf "made decisions (%d)" decisions)
+        true (decisions > 100);
+      check_int
+        (Printf.sprintf "no pick mismatches under %s" (Planner.name planner))
+        0 mismatches)
+    [ (Planner.fcfs, 1301); (Planner.sjf, 1302); (Planner.value_edf, 1303) ]
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -258,5 +440,21 @@ let () =
             test_dispatcher_equiv_admission;
           Alcotest.test_case "elastic pool" `Quick test_dispatcher_equiv_elastic;
           qtest prop_dispatcher_equiv_random_seeds;
+        ] );
+      ( "flat-vs-boxed",
+        [
+          Alcotest.test_case "exp workload" `Quick test_flat_boxed_dispatch_exp;
+          Alcotest.test_case "sorted planners" `Quick
+            test_flat_boxed_dispatch_sorted_planners;
+          Alcotest.test_case "heterogeneous + admission" `Quick
+            test_flat_boxed_dispatch_heterogeneous_admission;
+          Alcotest.test_case "elastic pool" `Quick test_flat_boxed_dispatch_elastic;
+          Alcotest.test_case "faults (crash, brownout, repair)" `Quick
+            test_flat_boxed_dispatch_faults;
+          Alcotest.test_case "end-to-end metrics equal" `Quick
+            test_flat_boxed_dispatch_metrics_equal;
+          Alcotest.test_case "scheduler picks equal" `Quick
+            test_flat_boxed_scheduler;
+          qtest prop_flat_boxed_dispatch_random_seeds;
         ] );
     ]

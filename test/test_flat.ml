@@ -1,0 +1,245 @@
+(* Flat vs boxed SLA-tree: the flat arena-backed layout must be
+   BIT-identical to [Cascade_tree] — same sort permutation, same merge
+   float order, same probe accumulation order — so every comparison
+   here is on raw float bits, not within a tolerance.
+
+   The generators are adversarial on purpose: quantized keys force
+   exact duplicates that straddle subtree boundaries (the split of two
+   equal boundary keys IS that key), tau is drawn exactly from the key
+   set (the Lt/Le edges), and units optionally share uids so descendant
+   lists merge duplicate ids. *)
+
+let check_int = Alcotest.(check int)
+
+let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_bits name a b =
+  if not (bits_eq a b) then
+    Alcotest.failf "%s: %h <> %h" name a b
+
+(* ------------------------------------------------------------------ *)
+(* Cascade-level fuzz over raw unit arrays. *)
+
+(* Adversarial unit arrays. Keys come from a small quantized pool so
+   exact duplicates are common; uids are distinct per unit, or shared
+   in pairs (then the pair's keys are forced apart so (key, uid) stays
+   a strict total order — the invariant real expansions guarantee,
+   since a query's unit slacks strictly increase). *)
+let gen_units =
+  QCheck.Gen.(
+    let* m = 1 -- 48 in
+    let* k = 2 -- 6 in
+    let* raw_pool = array_repeat k (float_range (-50.0) 50.0) in
+    let pool = Array.map (fun x -> Float.round (x *. 4.0) /. 4.0) raw_pool in
+    let* idxs = array_repeat m (0 -- (k - 1)) in
+    let* gains = array_repeat m (float_range 0.25 8.0) in
+    let* dup_uids = bool in
+    let units =
+      Array.init m (fun i ->
+          let uid = if dup_uids then i / 2 else i in
+          let idx =
+            if dup_uids && i land 1 = 1 && idxs.(i) = idxs.(i - 1) then
+              (idxs.(i) + 1) mod k
+            else idxs.(i)
+          in
+          { Slack_units.uid; slack = pool.(idx); gain = gains.(i) })
+    in
+    return units)
+
+(* (units, n, tau): n spans the uid range with both edges, tau is an
+   exact key or an epsilon/quarter-step perturbation of one. *)
+let gen_case =
+  QCheck.Gen.(
+    let* units = gen_units in
+    let m = Array.length units in
+    let max_uid =
+      Array.fold_left (fun acc u -> max acc u.Slack_units.uid) 0 units
+    in
+    let* n = -1 -- (max_uid + 1) in
+    let* ti = 0 -- (m - 1) in
+    let* perturb = oneofl [ 0.0; 0.0; 0.0; 1e-9; -1e-9; 0.25; -0.25 ] in
+    return (units, n, units.(ti).Slack_units.slack +. perturb))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (units, n, tau) ->
+      Fmt.str "n=%d tau=%h@ [@[%a@]]" n tau
+        Fmt.(
+          array ~sep:semi (fun ppf u ->
+              Fmt.pf ppf "(uid %d, slack %h, gain %h)" u.Slack_units.uid
+                u.Slack_units.slack u.Slack_units.gain))
+        units)
+    gen_case
+
+let prop_flat_cascade_matches_boxed =
+  QCheck.Test.make ~name:"flat cascade == boxed cascade (bitwise)" ~count:1000
+    arb_case
+    (fun (units, n, tau) ->
+      let boxed = Cascade_tree.build units in
+      let arena = Flat_sla_tree.create_arena () in
+      let flat = Flat_sla_tree.of_units arena units in
+      Flat_sla_tree.unit_count flat = Cascade_tree.unit_count boxed
+      && Flat_sla_tree.depth flat = Cascade_tree.depth boxed
+      && bits_eq (Cascade_tree.total boxed) (Flat_sla_tree.total flat)
+      && bits_eq
+           (Cascade_tree.prefix_total boxed ~n)
+           (Flat_sla_tree.prefix_total flat ~n)
+      && List.for_all
+           (fun mode ->
+             let b = Cascade_tree.prefix_loss boxed mode ~n ~tau in
+             bits_eq b (Flat_sla_tree.prefix_loss flat mode ~n ~tau)
+             && bits_eq b
+                  (Flat_sla_tree.prefix_loss_binary_search flat mode ~n ~tau))
+           [ Cascade_tree.Lt; Cascade_tree.Le ])
+
+let test_flat_cascade_empty () =
+  let arena = Flat_sla_tree.create_arena () in
+  let flat = Flat_sla_tree.of_units arena [||] in
+  check_int "no units" 0 (Flat_sla_tree.unit_count flat);
+  check_int "depth 0" 0 (Flat_sla_tree.depth flat);
+  check_bits "loss" 0.0
+    (Flat_sla_tree.prefix_loss flat Cascade_tree.Lt ~n:5 ~tau:10.0);
+  check_bits "total" 0.0 (Flat_sla_tree.total flat)
+
+let test_flat_cascade_paper_example () =
+  (* Fig 7's g/0 example: postpone(1, 9, 32) = 300. *)
+  let leaves =
+    [ (11, 10.0, 100.0); (5, 20.0, 200.0); (3, 30.0, 100.0); (7, 40.0, 300.0);
+      (1, 50.0, 100.0); (15, 60.0, 100.0); (13, 70.0, 200.0); (9, 80.0, 100.0) ]
+  in
+  let units =
+    Array.of_list
+      (List.map (fun (uid, slack, gain) -> { Slack_units.uid; slack; gain }) leaves)
+  in
+  let arena = Flat_sla_tree.create_arena () in
+  let flat = Flat_sla_tree.of_units arena units in
+  check_bits "postpone(1,9,32)" 300.0
+    (Flat_sla_tree.prefix_loss flat Cascade_tree.Lt ~n:9 ~tau:32.0);
+  check_bits "grand total" 1200.0 (Flat_sla_tree.total flat)
+
+(* ------------------------------------------------------------------ *)
+(* Facade-level fuzz: whole SLA-trees (S+ and S-) over random buffers,
+   flat vs boxed, including arena reuse across rebuilds. *)
+
+let gen_sla =
+  QCheck.Gen.(
+    let* n = 1 -- 3 in
+    let* raw_bounds = list_repeat (n + 2) (float_range 1.0 150.0) in
+    let* raw_gains = list_repeat (n + 2) (float_range 0.5 8.0) in
+    let* penalty = float_range 0.0 4.0 in
+    let bounds = List.sort_uniq Float.compare raw_bounds in
+    let gains = List.rev (List.sort_uniq Float.compare raw_gains) in
+    let k = min n (min (List.length bounds) (List.length gains)) in
+    let levels =
+      List.init k (fun i ->
+          { Sla.bound = List.nth bounds i; gain = List.nth gains i })
+    in
+    return (Sla.make ~levels ~penalty))
+
+let gen_query id =
+  QCheck.Gen.(
+    let* arrival = float_range 0.0 120.0 in
+    let* size = float_range 0.1 40.0 in
+    let* sla = gen_sla in
+    return (Query.make ~id ~arrival ~size ~sla ()))
+
+let gen_buffer =
+  QCheck.Gen.(
+    let* n = 0 -- 30 in
+    let* queries = flatten_l (List.init n gen_query) in
+    return (Array.of_list queries))
+
+let arb_buffer =
+  QCheck.make
+    ~print:(fun qs -> Fmt.str "@[<v>%a@]" Fmt.(array ~sep:cut Query.pp) qs)
+    gen_buffer
+
+let now = 100.0
+
+(* Probe a tree on a fixed battery of questions: full-range and
+   split-range postpones/expedites at taus including exact unit slacks
+   (tau drawn from the buffer's own schedule), plus the stake/recovery
+   accumulators. *)
+let probe_battery tree =
+  let n = Sla_tree.length tree in
+  let qs =
+    [
+      Sla_tree.total_profit_at_stake tree;
+      Sla_tree.total_recoverable_profit tree;
+    ]
+  in
+  if n = 0 then qs
+  else begin
+    let taus =
+      (* exact slack values of the first entry's components land on the
+         Lt/Le edges *)
+      let e = Sla_tree.entry tree 0 in
+      let comps = Sla.components e.Schedule.query.Query.sla in
+      Array.to_list
+        (Array.map
+           (fun c -> Float.abs (Schedule.slack e ~bound:c.Sla.comp_bound))
+           comps)
+      @ [ 0.0; 1.0; 7.5; 133.25 ]
+    in
+    let mid = n / 2 in
+    List.concat_map
+      (fun tau ->
+        [
+          Sla_tree.postpone tree ~m:0 ~n:(n - 1) ~tau;
+          Sla_tree.expedite tree ~m:0 ~n:(n - 1) ~tau;
+          Sla_tree.postpone tree ~m:mid ~n:(n - 1) ~tau;
+          Sla_tree.expedite tree ~m:0 ~n:mid ~tau;
+        ])
+      taus
+    @ [ Sla_tree.profit_at_stake tree ~n:mid;
+        Sla_tree.recoverable_profit tree ~n:mid ]
+    @ qs
+  end
+
+let batteries_eq a b =
+  List.length a = List.length b && List.for_all2 bits_eq a b
+
+let prop_facade_flat_matches_boxed =
+  QCheck.Test.make ~name:"Sla_tree flat == boxed (bitwise)" ~count:500
+    arb_buffer
+    (fun qs ->
+      let boxed = Sla_tree.build ~impl:Sla_tree.Boxed ~now qs in
+      let flat = Sla_tree.build ~impl:Sla_tree.Flat ~now qs in
+      Sla_tree.unit_counts flat = Sla_tree.unit_counts boxed
+      && batteries_eq (probe_battery boxed) (probe_battery flat))
+
+let prop_arena_reuse_matches_fresh =
+  (* Rebuilding through ONE arena must answer exactly like fresh
+     builds, buffer after buffer — growth, cursor resets and stale
+     storage reuse included. *)
+  QCheck.Test.make ~name:"arena rebuilds == fresh builds (bitwise)" ~count:100
+    (QCheck.make
+       ~print:(fun bufs ->
+         Fmt.str "%d buffers" (List.length bufs))
+       QCheck.Gen.(list_size (1 -- 6) gen_buffer))
+    (fun bufs ->
+      let arena = Sla_tree.create_arena () in
+      List.for_all
+        (fun qs ->
+          let reused = Sla_tree.build ~arena ~now qs in
+          let fresh = Sla_tree.build ~impl:Sla_tree.Boxed ~now qs in
+          batteries_eq (probe_battery fresh) (probe_battery reused))
+        bufs)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "cascade",
+        [
+          Alcotest.test_case "empty" `Quick test_flat_cascade_empty;
+          Alcotest.test_case "paper example" `Quick test_flat_cascade_paper_example;
+          qtest prop_flat_cascade_matches_boxed;
+        ] );
+      ( "facade",
+        [
+          qtest prop_facade_flat_matches_boxed;
+          qtest prop_arena_reuse_matches_fresh;
+        ] );
+    ]
