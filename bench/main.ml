@@ -495,6 +495,107 @@ let run_parallel scale =
     par_cores;
   }
 
+(* Part 1f — serve: the socket path. The same trace runs twice: once
+   in-process through [Sim.run], once through the serving daemon — a
+   second domain running the accept loop on a unix socket, fed by the
+   replay client unpaced in deterministic mode. The delta is the whole
+   cost of serving (framing, syscalls, select loop); the daemon's obs
+   registry supplies the per-decision latency percentiles through the
+   socket path. *)
+
+type serve_bench = {
+  sv_queries : int;
+  sv_servers : int;
+  sv_wall_ms : float;
+  sv_arrivals_per_s : float;
+  sv_inproc_ms : float;
+  sv_profit_identical : bool;
+  sv_sched_lat : int * float * float * float;
+  sv_dispatch_lat : int * float * float * float;
+}
+
+let run_serve scale =
+  let n, n_servers =
+    if scale.Exp_scale.n_queries <= Exp_scale.smoke.Exp_scale.n_queries then
+      (20_000, 8)
+    else (100_000, 20)
+  in
+  let queries =
+    Trace.generate
+      (Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_b ~load:0.9
+         ~servers:n_servers ~n_queries:n ~seed:scale.Exp_scale.base_seed ())
+  in
+  Fmt.pr "=== serve: socket path vs in-process, %d queries over %d servers ===@."
+    n n_servers;
+  (* In-process baseline. *)
+  Gc.compact ();
+  let inproc_metrics = Metrics.create ~warmup_id:0 () in
+  let inproc_ms =
+    let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
+    let t0 = Unix.gettimeofday () in
+    Sim.run ?on_server_event:hook ~queries ~n_servers ~pick_next
+      ~dispatch:(Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()))
+      ~metrics:inproc_metrics ();
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  (* Socket path: daemon in a second domain, unpaced deterministic
+     replay over a unix socket. *)
+  let sock = Filename.temp_file "slatree-bench" ".sock" in
+  Sys.remove sock;
+  let obs = Obs.create ~trace_capacity:0 () in
+  let engine =
+    Daemon.Engine.create ~obs ~clock:(Vclock.manual ())
+      ~scheduler:Schedulers.fcfs_sla_tree_incr
+      ~dispatcher:(Dispatchers.fcfs_sla_tree_incr ())
+      ~n_servers ()
+  in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Daemon.serve ~exit_on_idle:true
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~engine ~listen:(Daemon.Unix_sock sock) ())
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.001
+  done;
+  let fd = Replay.connect (Daemon.Unix_sock sock) in
+  let t0 = Unix.gettimeofday () in
+  let report = Replay.run ~speed:0.0 ~client:"bench" ~fd ~queries () in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  Domain.join daemon;
+  let arrivals_per_s = Float.of_int n /. wall_ms *. 1e3 in
+  let profit_identical =
+    match report.Replay.summary with
+    | Some s ->
+      Float.equal s.Wire.total_profit (Metrics.total_profit inproc_metrics)
+    | None -> false
+  in
+  let reg = Obs.registry obs in
+  let sched_lat = lat_summary reg "sched.decision_ns" in
+  let dispatch_lat = lat_summary reg "dispatch.decision_ns" in
+  Fmt.pr "in-process:  %10.0f ms@." inproc_ms;
+  Fmt.pr "socket path: %10.0f ms %12.0f arrivals/s (%.1fx in-process)@."
+    wall_ms arrivals_per_s (wall_ms /. inproc_ms);
+  Fmt.pr "profit identical to in-process run: %b@." profit_identical;
+  let pr_lat name (c, p50, p90, p99) =
+    Fmt.pr "%s: %d decisions, p50/p90/p99 = %.0f / %.0f / %.0f ns@." name c p50
+      p90 p99
+  in
+  pr_lat "  sched.decision_ns   " sched_lat;
+  pr_lat "  dispatch.decision_ns" dispatch_lat;
+  Fmt.pr "@.";
+  {
+    sv_queries = n;
+    sv_servers = n_servers;
+    sv_wall_ms = wall_ms;
+    sv_arrivals_per_s = arrivals_per_s;
+    sv_inproc_ms = inproc_ms;
+    sv_profit_identical = profit_identical;
+    sv_sched_lat = sched_lat;
+    sv_dispatch_lat = dispatch_lat;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_sim.json). Hand-rolled writer: the
    schema is flat and the toolchain has no JSON dependency. *)
@@ -517,7 +618,7 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
-    ~parallel =
+    ~parallel ~serve =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -635,7 +736,25 @@ let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
            identical
            (if i = List.length parallel.par_runs - 1 then "" else ",")))
     parallel.par_runs;
-  add "    ]\n  }\n}\n";
+  add "    ]\n  },\n";
+  add "  \"serve\": {\n";
+  add (Printf.sprintf "    \"queries\": %d,\n" serve.sv_queries);
+  add (Printf.sprintf "    \"servers\": %d,\n" serve.sv_servers);
+  add (Printf.sprintf "    \"wall_ms\": %s,\n" (json_float serve.sv_wall_ms));
+  add
+    (Printf.sprintf "    \"arrivals_per_s\": %s,\n"
+       (json_float serve.sv_arrivals_per_s));
+  add
+    (Printf.sprintf "    \"inproc_ms\": %s,\n" (json_float serve.sv_inproc_ms));
+  add
+    (Printf.sprintf "    \"socket_overhead_x\": %s,\n"
+       (json_float (serve.sv_wall_ms /. serve.sv_inproc_ms)));
+  add
+    (Printf.sprintf "    \"profit_identical\": %b,\n"
+       serve.sv_profit_identical);
+  lat_json "sched_decision_ns" serve.sv_sched_lat false;
+  lat_json "dispatch_decision_ns" serve.sv_dispatch_lat true;
+  add "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -658,9 +777,10 @@ let () =
   let faults = run_faults scale in
   let elastic = run_elastic scale in
   let parallel = run_parallel scale in
+  let serve = run_serve scale in
   let micro = run_micro () in
   emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~scale_run
-    ~elastic ~obs ~faults ~parallel;
+    ~elastic ~obs ~faults ~parallel ~serve;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

@@ -701,13 +701,274 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc:"Generate and replay workload trace files")
     [ trace_generate_cmd; trace_replay_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* Serving: the decision stack as a persistent process, plus the
+   open-loop replay client that stresses it. See docs/SERVING.md. *)
+
+let run_serve listen_s metrics_listen_s scheduler_name dispatcher_name servers
+    speed deterministic warmup tick rate exit_on_idle trace_out metrics_out
+    timeseries_out =
+  let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+  let* listen = Daemon.addr_of_string listen_s in
+  let* metrics_listen =
+    match metrics_listen_s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Daemon.addr_of_string s)
+  in
+  let* scheduler = scheduler_of_string ~rate scheduler_name in
+  let* dispatcher = dispatcher_of_string ~rate dispatcher_name in
+  let* () =
+    if servers < 1 then Error "need at least one server"
+    else if speed <= 0.0 then Error "--speed must be positive"
+    else if tick <= 0.0 then Error "--tick must be positive"
+    else Ok ()
+  in
+  (* The scrape endpoint serves the live registry, so it forces an
+     enabled sink even without file outputs. *)
+  let obs =
+    if trace_out = None && metrics_out = None && metrics_listen = None then
+      Obs.noop
+    else Obs.create ()
+  in
+  let metrics = Metrics.create ~warmup_id:warmup () in
+  let want_ts = timeseries_out <> None || metrics_listen <> None in
+  let ts =
+    if want_ts then Some (Obs.Timeseries.create ~columns:sim_timeseries_columns)
+    else None
+  in
+  let ticker =
+    Option.map (fun ts -> (tick, fun sim -> sample_sim ts metrics sim)) ts
+  in
+  let clock =
+    if deterministic then Vclock.manual () else Vclock.realtime ~speed ()
+  in
+  let engine =
+    Daemon.Engine.create ~obs ~warmup ?ticker ~clock ~scheduler ~dispatcher
+      ~n_servers:servers ()
+  in
+  ignore (Daemon.Engine.metrics engine);
+  (* Final flushes ride Obs teardown, so the SIGINT path and the
+     normal exit path share one close. *)
+  Obs.on_close obs (fun () -> write_obs_outputs obs ~trace:trace_out ~metrics:metrics_out);
+  (match (ts, timeseries_out) with
+  | Some ts, Some path ->
+    Obs.on_close obs (fun () -> write_timeseries_output ts ~path)
+  | _ -> ());
+  let stop = ref false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+  Fmt.pf ppf "serving on %a (%s / %s, %d server(s), %s clock%s)@."
+    Daemon.pp_addr listen (Schedulers.name scheduler)
+    (Dispatchers.name dispatcher) servers
+    (if deterministic then "deterministic" else Printf.sprintf "realtime %gx" speed)
+    (match metrics_listen with
+    | Some a -> Fmt.str ", metrics on %a" Daemon.pp_addr a
+    | None -> "");
+  (try
+     Daemon.serve ~stop ~exit_on_idle ?metrics_listen ?timeseries:ts ~engine
+       ~listen ();
+     let s = Daemon.Engine.summary engine in
+     Fmt.pf ppf
+       "served %d queries: %d completed, %d rejected, %d dropped, profit \
+        $%.2f (vtime %.0f ms)@."
+       (Daemon.Engine.submitted engine)
+       s.Wire.completed s.Wire.rejected s.Wire.dropped s.Wire.total_profit
+       s.Wire.vnow;
+     Obs.close obs;
+     `Ok ()
+   with Unix.Unix_error (err, fn, arg) ->
+     Obs.close obs;
+     `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
+
+let run_replay_client connect_s file kind profile load gen_servers n seed
+    sigma2 speed json =
+  let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+  let* addr = Daemon.addr_of_string connect_s in
+  let* queries =
+    match file with
+    | Some f -> (
+      match Trace_io.load f with
+      | qs -> Ok qs
+      | exception Trace_io.Parse_error e -> Error ("parse error: " ^ e)
+      | exception Sys_error e -> Error e)
+    | None -> (
+      match (kind_of_string kind, profile_of_string profile) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok kind, Ok profile ->
+        let error =
+          if sigma2 = 0.0 then Estimate_error.none
+          else Estimate_error.gaussian ~sigma2 ()
+        in
+        Ok
+          (Trace.generate
+             (Trace.config ~error ~kind ~profile ~load ~servers:gen_servers
+                ~n_queries:n ~seed ())))
+  in
+  let* () = if speed < 0.0 then Error "--speed must be >= 0" else Ok () in
+  let framing = if json then Wire.Json else Wire.Binary in
+  (try
+     let fd = Replay.connect addr in
+     Fmt.pf ppf "replaying %d queries to %a at %s@." (Array.length queries)
+       Daemon.pp_addr addr
+       (if speed = 0.0 then "full speed (unpaced)"
+        else Printf.sprintf "%gx" speed);
+     let r =
+       Replay.run ~framing ~speed ~client:"slatree-replay"
+         ~on_progress:(fun ~sent ~completions ->
+           Fmt.pf ppf "  ... %d sent, %d completed@." sent completions)
+         ~fd ~queries ()
+     in
+     List.iter (fun e -> Fmt.pf ppf "  daemon error: %s@." e) r.Replay.errors;
+     Fmt.pf ppf
+       "sent %d in %.2fs (%.0f arrivals/s): %d decisions (%d rejected), %d \
+        completions, %d dropped, client-side profit $%.2f@."
+       r.Replay.sent r.Replay.wall_s
+       (Float.of_int r.Replay.sent /. Float.max 1e-9 r.Replay.wall_s)
+       r.Replay.decisions r.Replay.rejected r.Replay.completions
+       r.Replay.dropped r.Replay.profit;
+     (match r.Replay.summary with
+     | Some s ->
+       Fmt.pf ppf
+         "daemon summary: %d completed, %d rejected, %d dropped, %d measured \
+          (%d late), profit $%.2f, avg loss $%.4f, avg response %.2f ms@."
+         s.Wire.completed s.Wire.rejected s.Wire.dropped s.Wire.measured
+         s.Wire.late s.Wire.total_profit s.Wire.avg_loss s.Wire.avg_response;
+       `Ok ()
+     | None -> `Error (false, "connection closed before the daemon's summary"))
+   with Unix.Unix_error (err, fn, arg) ->
+     `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt string "unix:/tmp/slatree.sock"
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Listen address: unix:PATH, HOST:PORT or PORT")
+  in
+  let metrics_listen =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-listen" ] ~docv:"ADDR"
+             ~doc:
+               "Serve /metrics, /metrics.txt, /timeseries and /healthz over \
+                HTTP on ADDR")
+  in
+  let scheduler =
+    Arg.(value & opt string "fcfs+tree-incr" & info [ "scheduler" ] ~docv:"SCHED"
+           ~doc:
+             "fcfs | sjf | edf | value-edf | cbs, each optionally +tree; \
+              fcfs+tree-incr for the incremental SLA-tree fast path")
+  in
+  let dispatcher =
+    Arg.(value & opt string "tree-fcfs" & info [ "dispatcher" ] ~docv:"DISP"
+           ~doc:"rr | lwl | random | tree | tree+ac | tree-fcfs | tree-fcfs+ac")
+  in
+  let servers =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+  in
+  let speed =
+    Arg.(value & opt float 1.0 & info [ "speed" ] ~docv:"X"
+           ~doc:"Virtual milliseconds per wall millisecond (realtime mode)")
+  in
+  let deterministic =
+    Arg.(value & flag & info [ "deterministic" ]
+           ~doc:
+             "Manual virtual clock driven purely by submission timestamps — \
+              bit-identical to the in-process simulator on the same trace")
+  in
+  let warmup =
+    Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"W"
+           ~doc:"Exclude queries with id below this from measurement")
+  in
+  let tick =
+    Arg.(value & opt float 1000.0 & info [ "tick" ] ~docv:"MS"
+           ~doc:"Virtual time between timeseries samples")
+  in
+  let rate =
+    Arg.(value & opt float 0.05 & info [ "rate" ] ~docv:"MU"
+           ~doc:
+             "Expected service rate (1/mean-execution, per ms) for the cbs \
+              scheduler and tree planners")
+  in
+  let exit_on_idle =
+    Arg.(value & flag & info [ "exit-on-idle" ]
+           ~doc:
+             "Shut down once a client that sent eof has disconnected and no \
+              clients remain (CI smoke mode)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the SLA-tree decision stack as a daemon: framed query arrivals \
+          in, dispatch decisions and completions out, metrics scrape on the \
+          side")
+    Term.(
+      ret
+        (const run_serve $ listen $ metrics_listen $ scheduler $ dispatcher
+       $ servers $ speed $ deterministic $ warmup $ tick $ rate $ exit_on_idle
+       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg))
+
+let replay_cmd =
+  let connect =
+    Arg.(value & opt string "unix:/tmp/slatree.sock"
+         & info [ "connect" ] ~docv:"ADDR"
+             ~doc:"Daemon address: unix:PATH, HOST:PORT or PORT")
+  in
+  let file =
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
+           ~doc:"Replay this trace file (otherwise generate one)")
+  in
+  let kind =
+    Arg.(value & opt string "exp" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Generated workload: exp | pareto | ssbm")
+  in
+  let profile =
+    Arg.(value & opt string "b" & info [ "profile" ] ~docv:"P"
+           ~doc:"Generated SLA profile: a | b")
+  in
+  let load =
+    Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"RHO"
+           ~doc:"Generated system load")
+  in
+  let gen_servers =
+    Arg.(value & opt int 4 & info [ "gen-servers" ] ~docv:"M"
+           ~doc:"Server count the generated load targets (match the daemon's)")
+  in
+  let n =
+    Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N"
+           ~doc:"Generated query count")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+  in
+  let sigma2 =
+    Arg.(value & opt float 0.0 & info [ "sigma2" ] ~docv:"S2"
+           ~doc:"Estimation error variance; 0 = perfect estimates")
+  in
+  let speed =
+    Arg.(value & opt float 1.0 & info [ "speed" ] ~docv:"X"
+           ~doc:
+             "Replay speed factor (matches the daemon's --speed); 0 = \
+              unpaced, as fast as the socket accepts")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Use the newline-JSON debug framing instead of binary")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Pump a workload trace into a running daemon at a wall-clock speed \
+          factor, open-loop")
+    Term.(
+      ret
+        (const run_replay_client $ connect $ file $ kind $ profile $ load
+       $ gen_servers $ n $ seed $ sigma2 $ speed $ json))
+
 let main =
   Cmd.group
     (Cmd.info "slatree" ~version:"1.0.0"
        ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
     [
       table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
-      validate_cmd; trace_cmd; sim_cmd; resilience_cmd;
+      validate_cmd; trace_cmd; sim_cmd; resilience_cmd; serve_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -461,12 +461,31 @@ end
 (* ------------------------------------------------------------------ *)
 (* The sink *)
 
-type t = { on : bool; reg : Registry.t; tr : Trace.t }
+type t = {
+  on : bool;
+  reg : Registry.t;
+  tr : Trace.t;
+  mutable flushers : (unit -> unit) list;  (** registration order *)
+  mutable closed : bool;
+}
 
-let noop = { on = false; reg = Registry.create (); tr = Trace.create ~capacity:0 () }
+let noop =
+  {
+    on = false;
+    reg = Registry.create ();
+    tr = Trace.create ~capacity:0 ();
+    flushers = [];
+    closed = false;
+  }
 
 let create ?trace_capacity () =
-  { on = true; reg = Registry.create (); tr = Trace.create ?capacity:trace_capacity () }
+  {
+    on = true;
+    reg = Registry.create ();
+    tr = Trace.create ?capacity:trace_capacity ();
+    flushers = [];
+    closed = false;
+  }
 
 let enabled t = t.on
 let registry t = t.reg
@@ -488,3 +507,34 @@ let write_trace t ~path =
   write_file ~path
     (if Filename.check_suffix path ".jsonl" then Trace.to_jsonl t.tr
      else Trace.to_chrome_json t.tr)
+
+(* Teardown: exporters register themselves so a single [close] (or a
+   SIGINT handler calling it) flushes every output exactly once,
+   whatever the exit path. The noop sink accepts registrations and
+   drops them — disabled runs must not grow a flusher list. *)
+
+let on_close t f = if t.on && not t.closed then t.flushers <- f :: t.flushers
+
+let flush t =
+  if t.on then begin
+    (* Registration order; run them all even if one raises, then
+       re-raise the first failure. *)
+    let fs = List.rev t.flushers in
+    let first_exn = ref None in
+    List.iter
+      (fun f ->
+        try f ()
+        with e -> if !first_exn = None then first_exn := Some e)
+      fs;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
+let close t =
+  if t.on && not t.closed then begin
+    (* Mark closed before flushing so a flusher that raises cannot be
+       double-run by a second [close] on the error path. *)
+    t.closed <- true;
+    Fun.protect ~finally:(fun () -> t.flushers <- []) (fun () -> flush t)
+  end
+
+let closed t = t.closed

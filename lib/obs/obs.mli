@@ -174,3 +174,26 @@ val write_metrics : t -> path:string -> unit
 (** Write the trace: JSONL when [path] ends in [.jsonl], Chrome
     trace-event JSON otherwise. *)
 val write_trace : t -> path:string -> unit
+
+(** {2 Teardown}
+
+    Exporters register their final write with {!on_close}; one
+    {!close} at exit — or from a SIGINT handler's shutdown path —
+    flushes every registered output exactly once. This is what lets a
+    daemon killed mid-run keep its tail timeseries samples. *)
+
+(** Register a flusher, run by {!flush}/{!close} in registration
+    order. Dropped (not stored) on the {!noop} sink and after
+    {!close}. *)
+val on_close : t -> (unit -> unit) -> unit
+
+(** Run every registered flusher now (all of them, even if some
+    raise — the first exception is re-raised afterwards). Flushers
+    stay registered; safe to call repeatedly. No-op when disabled. *)
+val flush : t -> unit
+
+(** {!flush} once, then drop the flushers. Idempotent: later calls
+    (and later {!on_close} registrations) are no-ops. *)
+val close : t -> unit
+
+val closed : t -> bool

@@ -1,0 +1,123 @@
+(** The serving daemon: the SLA-tree decision stack as a persistent
+    process.
+
+    Split in two layers so the decision machinery is testable without
+    sockets:
+
+    - {!Engine} owns a live {!Sim.session} (the exact event loop
+      behind [Sim.run]) plus the scheduler/dispatcher instances, maps
+      wire messages to session operations, and emits wire messages
+      (decisions, completions, drops, summaries) through a pluggable
+      callback. In manual-clock mode its behaviour is bit-identical
+      to [Sim.run] on the same queries — the serial-vs-served
+      equivalence test holds it to that.
+    - {!serve} is the [Unix.select] accept loop: framed client
+      connections on one address, an HTTP scrape endpoint for the
+      [Obs] registry/timeseries on another, graceful drain on stop.
+
+    See docs/SERVING.md. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+(** ["unix:PATH"], ["HOST:PORT"] or bare ["PORT"] (localhost). *)
+val addr_of_string : string -> (addr, string) result
+
+val pp_addr : Format.formatter -> addr -> unit
+
+(** {1 Engine} *)
+
+module Engine : sig
+  type t
+
+  (** [create ~clock ~scheduler ~dispatcher ~n_servers ()] builds the
+      decision stack: a {!Sim.session} with [scheduler]/[dispatcher]
+      instantiated against [obs] (their per-decision latency
+      histograms keep working under serving), [warmup] unmeasured
+      query ids, and optional [speeds]/[drop_policy]/[ticker]
+      passthrough with [Sim.run]'s semantics.
+
+      With a manual [clock], submissions advance virtual time exactly
+      as [Sim.run] does (deterministic mode). With a realtime clock,
+      a submission stamped in the future is held and injected when
+      its arrival comes due in {!poll}. *)
+  val create :
+    ?obs:Obs.t ->
+    ?warmup:int ->
+    ?speeds:float array ->
+    ?drop_policy:(now:float -> Query.t -> bool) ->
+    ?ticker:float * (Sim.t -> unit) ->
+    clock:Vclock.t ->
+    scheduler:Schedulers.t ->
+    dispatcher:Dispatchers.t ->
+    n_servers:int ->
+    unit ->
+    t
+
+  (** Install the outbound-message callback ([client] is the opaque
+      id the inbound message carried). Replaces the previous one;
+      initially messages are dropped. *)
+  val on_emit : t -> (client:int -> Wire.msg -> unit) -> unit
+
+  (** Process one inbound message. [Submit] runs the full arrival
+      path (dispatch decision emitted to the submitting client, which
+      later receives the matching completion/drop); [Eof] drains the
+      session and answers with [Summary]; [Hello] is answered in
+      kind; daemon-to-client messages are protocol errors (answered
+      with [Error_msg]). *)
+  val handle : t -> client:int -> Wire.msg -> unit
+
+  (** Realtime mode: inject the held submissions that came due and
+      advance the session to the clock. Manual mode: no-op. *)
+  val poll : t -> unit
+
+  (** Wall seconds until {!poll} has something to do — [None] when
+      nothing is pending (sleep until socket activity). *)
+  val next_wakeup_s : t -> float option
+
+  (** Run the session to quiescence (held submissions included) —
+      the shutdown drain. *)
+  val drain : t -> unit
+
+  (** Forget a disconnected client: its pending emissions are
+      dropped. *)
+  val client_gone : t -> client:int -> unit
+
+  val summary : t -> Wire.summary
+  val metrics : t -> Metrics.t
+  val sim : t -> Sim.t
+  val obs : t -> Obs.t
+
+  (** Queries submitted / completions emitted so far. *)
+  val submitted : t -> int
+
+  val completed : t -> int
+end
+
+(** {1 Serving} *)
+
+(** Run the accept loop until [stop] becomes true (install a SIGINT
+    handler that sets it) or, with [exit_on_idle], until a drained
+    [Eof] leaves no connected clients. Shutdown is graceful: stop
+    accepting, drain the engine, send each client the final
+    [Summary] and [Eof], flush outbound buffers, close.
+
+    [metrics_listen] adds an HTTP scrape endpoint: [/metrics]
+    (registry JSON, schema [slatree-obs/1]), [/metrics.txt] (pretty),
+    [/timeseries] (when [timeseries] is given), [/healthz].
+
+    [on_ready] runs once both listeners are bound — tests
+    synchronize on it. SIGPIPE is ignored for the process. *)
+val serve :
+  ?stop:bool ref ->
+  ?exit_on_idle:bool ->
+  ?on_ready:(unit -> unit) ->
+  ?metrics_listen:addr ->
+  ?timeseries:Obs.Timeseries.t ->
+  engine:Engine.t ->
+  listen:addr ->
+  unit ->
+  unit

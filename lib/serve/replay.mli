@@ -1,0 +1,41 @@
+(** The other half of the loop: an open-loop replay client that pumps
+    a trace into the daemon at a wall-clock speed factor and accounts
+    the answers.
+
+    Open-loop means timestamp-faithful: query [i] is written at wall
+    time [t0 + arrival_i / speed] regardless of how the daemon is
+    keeping up — the trace's arrival process is reproduced, not a
+    closed feedback loop. [speed = 0.] disables pacing entirely
+    (bench mode: submissions go as fast as the socket accepts, with
+    reads interleaved so neither direction can deadlock). *)
+
+type report = {
+  sent : int;
+  decisions : int;
+  rejected : int;  (** decisions with [target = None] *)
+  completions : int;
+  dropped : int;
+  profit : float;  (** sum of reported completion profits *)
+  wall_s : float;  (** connect-to-summary wall time *)
+  summary : Wire.summary option;
+      (** the daemon's final accounting ([None] if the connection
+          died before the summary arrived) *)
+  errors : string list;  (** daemon [Error_msg]s received *)
+}
+
+val connect : Daemon.addr -> Unix.file_descr
+
+(** [run ~fd ~queries ()] submits every query (arrival order assumed),
+    sends [Eof], and reads until the daemon's [Summary] (or EOF).
+    [speed] is the virtual-per-wall time factor (default [1.]; [0.] =
+    unpaced). [on_progress] is called roughly once a second with
+    counts so long replays can narrate. Closes [fd]. *)
+val run :
+  ?framing:Wire.framing ->
+  ?speed:float ->
+  ?client:string ->
+  ?on_progress:(sent:int -> completions:int -> unit) ->
+  fd:Unix.file_descr ->
+  queries:Query.t array ->
+  unit ->
+  report

@@ -1,0 +1,35 @@
+type mode = Realtime of { origin_ns : int64; speed : float } | Manual
+
+type t = { mode : mode; mutable vnow : float }
+(* [vnow] is the high-water mark: in realtime mode it only caches the
+   last reading so [now] stays monotone even if the host clock
+   misbehaves; in manual mode it IS the clock. *)
+
+let realtime ?(speed = 1.0) () =
+  if not (Float.is_finite speed && speed > 0.0) then
+    invalid_arg "Vclock.realtime: speed must be positive";
+  { mode = Realtime { origin_ns = Obs.now_ns (); speed }; vnow = 0.0 }
+
+let manual () = { mode = Manual; vnow = 0.0 }
+
+let is_realtime t = match t.mode with Realtime _ -> true | Manual -> false
+
+let now t =
+  (match t.mode with
+  | Manual -> ()
+  | Realtime { origin_ns; speed } ->
+    let wall_ms =
+      Int64.to_float (Int64.sub (Obs.now_ns ()) origin_ns) /. 1e6
+    in
+    t.vnow <- Float.max t.vnow (wall_ms *. speed));
+  t.vnow
+
+let advance_to t v =
+  match t.mode with
+  | Manual -> t.vnow <- Float.max t.vnow v
+  | Realtime _ -> invalid_arg "Vclock.advance_to: realtime clock"
+
+let wall_delay_s t ~until =
+  match t.mode with
+  | Manual -> 0.0
+  | Realtime { speed; _ } -> Float.max 0.0 ((until -. now t) /. speed /. 1e3)

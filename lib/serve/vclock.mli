@@ -1,0 +1,33 @@
+(** The daemon's virtual clock: simulated milliseconds slaved to the
+    host monotonic clock (realtime mode) or advanced explicitly
+    (manual mode, the deterministic-equivalence harness).
+
+    Realtime maps wall time to virtual time linearly: [speed] virtual
+    milliseconds elapse per wall millisecond, from virtual 0 at
+    {!realtime} call time. Traces stamp arrivals from 0, so replaying
+    one at [speed] compresses it by that factor while keeping every
+    deadline and boot delay meaningful. *)
+
+type t
+
+(** [speed] must be positive (default 1: virtual = wall). *)
+val realtime : ?speed:float -> unit -> t
+
+(** Starts at virtual 0; only {!advance_to} moves it. *)
+val manual : unit -> t
+
+val is_realtime : t -> bool
+
+(** Current virtual time (ms). Monotone. *)
+val now : t -> float
+
+(** Manual mode: move the clock forward (earlier instants are
+    ignored — time is monotone). Raises [Invalid_argument] in
+    realtime mode. *)
+val advance_to : t -> float -> unit
+
+(** Wall-clock seconds until virtual instant [until] (0 when already
+    past). Manual mode: 0 — everything is immediately due. A serving
+    loop turns {!Sim.next_event_time} into its poll timeout with
+    this. *)
+val wall_delay_s : t -> until:float -> float

@@ -1,0 +1,523 @@
+(* Wire codec: one message catalogue, two framings.
+
+   The binary framing is the fast path: fixed 7-byte header
+   [A7 ver tag len32be] and a payload of i64be scalars (floats as
+   their IEEE bits), so round-trips are bit-exact with no parsing
+   ambiguity. The Json framing is the debuggable twin — one compact
+   object per line, floats via Jsonx.float_literal — handy with
+   netcat and for eyeballing captures; finite floats still round-trip
+   exactly ([%.17g]).
+
+   Frames are size-capped (1 MiB) so a garbage length field cannot
+   make a decoder buffer unboundedly. *)
+
+let protocol_version = 1
+let magic = '\xA7'
+let max_payload = 1 lsl 20
+
+type summary = {
+  completed : int;
+  rejected : int;
+  dropped : int;
+  measured : int;
+  late : int;
+  total_profit : float;
+  avg_loss : float;
+  avg_response : float;
+  vnow : float;
+}
+
+type msg =
+  | Hello of { version : int; client : string }
+  | Submit of Query.t
+  | Eof
+  | Decision of {
+      qid : int;
+      vnow : float;
+      target : int option;
+      est_delta : float option;
+    }
+  | Completion of { qid : int; vnow : float; profit : float }
+  | Dropped of { qid : int; vnow : float }
+  | Summary of summary
+  | Error_msg of string
+
+type framing = Binary | Json
+
+type decode_error = Truncated | Malformed of string
+
+(* ------------------------------------------------------------------ *)
+(* Equality (bit-exact on floats: NaN = NaN, 0. <> -0.) *)
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+let foeq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> feq a b
+  | _ -> false
+
+let query_equal (a : Query.t) (b : Query.t) =
+  a.id = b.id && feq a.arrival b.arrival && feq a.size b.size
+  && feq a.est_size b.est_size && a.retries = b.retries
+  && Sla.penalty a.sla = Sla.penalty b.sla
+  && List.length (Sla.levels a.sla) = List.length (Sla.levels b.sla)
+  && List.for_all2
+       (fun (la : Sla.level) (lb : Sla.level) ->
+         feq la.bound lb.bound && feq la.gain lb.gain)
+       (Sla.levels a.sla) (Sla.levels b.sla)
+
+let equal m1 m2 =
+  match (m1, m2) with
+  | Hello a, Hello b -> a.version = b.version && a.client = b.client
+  | Submit a, Submit b -> query_equal a b
+  | Eof, Eof -> true
+  | Decision a, Decision b ->
+    a.qid = b.qid && feq a.vnow b.vnow && a.target = b.target
+    && foeq a.est_delta b.est_delta
+  | Completion a, Completion b ->
+    a.qid = b.qid && feq a.vnow b.vnow && feq a.profit b.profit
+  | Dropped a, Dropped b -> a.qid = b.qid && feq a.vnow b.vnow
+  | Summary a, Summary b ->
+    a.completed = b.completed && a.rejected = b.rejected
+    && a.dropped = b.dropped && a.measured = b.measured && a.late = b.late
+    && feq a.total_profit b.total_profit && feq a.avg_loss b.avg_loss
+    && feq a.avg_response b.avg_response && feq a.vnow b.vnow
+  | Error_msg a, Error_msg b -> a = b
+  | _ -> false
+
+let pp ppf = function
+  | Hello { version; client } -> Fmt.pf ppf "hello[v%d %s]" version client
+  | Submit q -> Fmt.pf ppf "submit[%a]" Query.pp q
+  | Eof -> Fmt.pf ppf "eof"
+  | Decision { qid; vnow; target; est_delta } ->
+    Fmt.pf ppf "decision[q%d @%g -> %a delta=%a]" qid vnow
+      Fmt.(option ~none:(any "reject") int)
+      target
+      Fmt.(option ~none:(any "-") float)
+      est_delta
+  | Completion { qid; vnow; profit } ->
+    Fmt.pf ppf "completion[q%d @%g profit=%g]" qid vnow profit
+  | Dropped { qid; vnow } -> Fmt.pf ppf "dropped[q%d @%g]" qid vnow
+  | Summary s ->
+    Fmt.pf ppf "summary[completed=%d profit=%g @%g]" s.completed
+      s.total_profit s.vnow
+  | Error_msg e -> Fmt.pf ppf "error[%s]" e
+
+(* ------------------------------------------------------------------ *)
+(* Binary framing *)
+
+let tag_of_msg = function
+  | Hello _ -> 1
+  | Submit _ -> 2
+  | Eof -> 3
+  | Decision _ -> 4
+  | Completion _ -> 5
+  | Dropped _ -> 6
+  | Summary _ -> 7
+  | Error_msg _ -> 8
+
+let add_i64 b n = Buffer.add_int64_be b (Int64.of_int n)
+let add_f b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let add_str b s =
+  add_i64 b (String.length s);
+  Buffer.add_string b s
+
+let add_opt b add = function
+  | None -> Buffer.add_uint8 b 0
+  | Some v ->
+    Buffer.add_uint8 b 1;
+    add b v
+
+let add_query b (q : Query.t) =
+  add_i64 b q.id;
+  add_f b q.arrival;
+  add_f b q.size;
+  add_f b q.est_size;
+  add_i64 b q.retries;
+  let levels = Sla.levels q.sla in
+  add_i64 b (List.length levels);
+  List.iter
+    (fun (l : Sla.level) ->
+      add_f b l.bound;
+      add_f b l.gain)
+    levels;
+  add_f b (Sla.penalty q.sla)
+
+let payload_of_msg m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Hello { version; client } ->
+    add_i64 b version;
+    add_str b client
+  | Submit q -> add_query b q
+  | Eof -> ()
+  | Decision { qid; vnow; target; est_delta } ->
+    add_i64 b qid;
+    add_f b vnow;
+    add_opt b add_i64 target;
+    add_opt b add_f est_delta
+  | Completion { qid; vnow; profit } ->
+    add_i64 b qid;
+    add_f b vnow;
+    add_f b profit
+  | Dropped { qid; vnow } ->
+    add_i64 b qid;
+    add_f b vnow
+  | Summary s ->
+    add_i64 b s.completed;
+    add_i64 b s.rejected;
+    add_i64 b s.dropped;
+    add_i64 b s.measured;
+    add_i64 b s.late;
+    add_f b s.total_profit;
+    add_f b s.avg_loss;
+    add_f b s.avg_response;
+    add_f b s.vnow
+  | Error_msg e -> add_str b e);
+  Buffer.contents b
+
+let encode_binary m =
+  let payload = payload_of_msg m in
+  let b = Buffer.create (7 + String.length payload) in
+  Buffer.add_char b magic;
+  Buffer.add_uint8 b protocol_version;
+  Buffer.add_uint8 b (tag_of_msg m);
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* Payload reader: a cursor over the payload slice. A malformed
+   payload (underrun, bad option flag, absurd list length, invalid
+   query) raises [Bad]. *)
+exception Bad of string
+
+type reader = { s : string; mutable pos : int; stop : int }
+
+let need r n = if r.pos + n > r.stop then raise (Bad "payload underrun")
+
+let rd_i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let rd_f r =
+  need r 8;
+  let v = Int64.float_of_bits (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let rd_str r =
+  let n = rd_i64 r in
+  if n < 0 || n > max_payload then raise (Bad "bad string length");
+  need r n;
+  let v = String.sub r.s r.pos n in
+  r.pos <- r.pos + n;
+  v
+
+let rd_opt r rd =
+  need r 1;
+  let flag = Char.code r.s.[r.pos] in
+  r.pos <- r.pos + 1;
+  match flag with
+  | 0 -> None
+  | 1 -> Some (rd r)
+  | _ -> raise (Bad "bad option flag")
+
+let rd_query r =
+  let id = rd_i64 r in
+  let arrival = rd_f r in
+  let size = rd_f r in
+  let est_size = rd_f r in
+  let retries = rd_i64 r in
+  let n_levels = rd_i64 r in
+  if n_levels < 0 || n_levels > 4096 then raise (Bad "bad level count");
+  let levels =
+    List.init n_levels (fun _ ->
+        let bound = rd_f r in
+        let gain = rd_f r in
+        { Sla.bound; gain })
+  in
+  let penalty = rd_f r in
+  match Sla.make ~levels ~penalty with
+  | sla -> (
+    try Query.make ~est_size ~retries ~id ~arrival ~size ~sla ()
+    with Invalid_argument e -> raise (Bad ("invalid query: " ^ e)))
+  | exception Sla.Invalid e -> raise (Bad ("invalid sla: " ^ e))
+
+let msg_of_payload tag r =
+  let m =
+    match tag with
+    | 1 ->
+      let version = rd_i64 r in
+      let client = rd_str r in
+      Hello { version; client }
+    | 2 -> Submit (rd_query r)
+    | 3 -> Eof
+    | 4 ->
+      let qid = rd_i64 r in
+      let vnow = rd_f r in
+      let target = rd_opt r rd_i64 in
+      let est_delta = rd_opt r rd_f in
+      Decision { qid; vnow; target; est_delta }
+    | 5 ->
+      let qid = rd_i64 r in
+      let vnow = rd_f r in
+      let profit = rd_f r in
+      Completion { qid; vnow; profit }
+    | 6 ->
+      let qid = rd_i64 r in
+      let vnow = rd_f r in
+      Dropped { qid; vnow }
+    | 7 ->
+      let completed = rd_i64 r in
+      let rejected = rd_i64 r in
+      let dropped = rd_i64 r in
+      let measured = rd_i64 r in
+      let late = rd_i64 r in
+      let total_profit = rd_f r in
+      let avg_loss = rd_f r in
+      let avg_response = rd_f r in
+      let vnow = rd_f r in
+      Summary
+        {
+          completed;
+          rejected;
+          dropped;
+          measured;
+          late;
+          total_profit;
+          avg_loss;
+          avg_response;
+          vnow;
+        }
+    | 8 -> Error_msg (rd_str r)
+    | t -> raise (Bad (Printf.sprintf "unknown tag %d" t))
+  in
+  if r.pos <> r.stop then raise (Bad "trailing payload bytes");
+  m
+
+let decode_binary s =
+  let len = String.length s in
+  if len < 1 then Error Truncated
+  else if s.[0] <> magic then Error (Malformed "bad magic")
+  else if len < 7 then Error Truncated
+  else
+    let version = Char.code s.[1] in
+    let tag = Char.code s.[2] in
+    let plen = Int32.to_int (String.get_int32_be s 3) in
+    if version <> protocol_version then
+      Error (Malformed (Printf.sprintf "unsupported version %d" version))
+    else if plen < 0 || plen > max_payload then
+      Error (Malformed "payload too large")
+    else if len < 7 + plen then Error Truncated
+    else
+      let r = { s; pos = 7; stop = 7 + plen } in
+      match msg_of_payload tag r with
+      | m -> Ok (m, 7 + plen)
+      | exception Bad e -> Error (Malformed e)
+
+(* ------------------------------------------------------------------ *)
+(* Json framing *)
+
+let jf f = Jsonx.Num f
+let ji i = Jsonx.Num (float_of_int i)
+let jopt f = function None -> Jsonx.Null | Some v -> f v
+
+let json_of_query (q : Query.t) =
+  Jsonx.Obj
+    [
+      ("id", ji q.id);
+      ("arrival", jf q.arrival);
+      ("size", jf q.size);
+      ("est_size", jf q.est_size);
+      ("retries", ji q.retries);
+      ( "sla",
+        Jsonx.Obj
+          [
+            ( "levels",
+              Jsonx.Arr
+                (List.map
+                   (fun (l : Sla.level) -> Jsonx.Arr [ jf l.bound; jf l.gain ])
+                   (Sla.levels q.sla)) );
+            ("penalty", jf (Sla.penalty q.sla));
+          ] );
+    ]
+
+let json_of_msg m =
+  let obj t fields = Jsonx.Obj (("t", Jsonx.Str t) :: fields) in
+  match m with
+  | Hello { version; client } ->
+    obj "hello" [ ("version", ji version); ("client", Jsonx.Str client) ]
+  | Submit q -> obj "submit" [ ("q", json_of_query q) ]
+  | Eof -> obj "eof" []
+  | Decision { qid; vnow; target; est_delta } ->
+    obj "decision"
+      [
+        ("qid", ji qid);
+        ("vnow", jf vnow);
+        ("target", jopt ji target);
+        ("est_delta", jopt jf est_delta);
+      ]
+  | Completion { qid; vnow; profit } ->
+    obj "completion" [ ("qid", ji qid); ("vnow", jf vnow); ("profit", jf profit) ]
+  | Dropped { qid; vnow } -> obj "dropped" [ ("qid", ji qid); ("vnow", jf vnow) ]
+  | Summary s ->
+    obj "summary"
+      [
+        ("completed", ji s.completed);
+        ("rejected", ji s.rejected);
+        ("dropped", ji s.dropped);
+        ("measured", ji s.measured);
+        ("late", ji s.late);
+        ("total_profit", jf s.total_profit);
+        ("avg_loss", jf s.avg_loss);
+        ("avg_response", jf s.avg_response);
+        ("vnow", jf s.vnow);
+      ]
+  | Error_msg e -> obj "error" [ ("msg", Jsonx.Str e) ]
+
+let encode_json m = Jsonx.to_string (json_of_msg m) ^ "\n"
+
+(* Field accessors that raise [Bad] — decoding shares the binary
+   path's error channel. *)
+let jget j k = match Jsonx.member k j with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "missing field %S" k))
+
+let jint j k =
+  match Jsonx.to_int (jget j k) with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "field %S: not an int" k))
+
+let jfloat j k =
+  match Jsonx.to_float (jget j k) with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "field %S: not a number" k))
+
+let jstr j k =
+  match Jsonx.to_str (jget j k) with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "field %S: not a string" k))
+
+let jopt_of j k conv =
+  match jget j k with Jsonx.Null -> None | v -> (
+    match conv v with
+    | Some x -> Some x
+    | None -> raise (Bad (Printf.sprintf "field %S: bad value" k)))
+
+let query_of_json j =
+  let levels =
+    match Jsonx.to_list (jget (jget j "sla") "levels") with
+    | None -> raise (Bad "sla.levels: not a list")
+    | Some ls ->
+      List.map
+        (fun l ->
+          match Jsonx.to_list l with
+          | Some [ b; g ] -> (
+            match (Jsonx.to_float b, Jsonx.to_float g) with
+            | Some bound, Some gain -> { Sla.bound; gain }
+            | _ -> raise (Bad "sla level: not numbers"))
+          | _ -> raise (Bad "sla level: not a pair"))
+        ls
+  in
+  let penalty = jfloat (jget j "sla") "penalty" in
+  match Sla.make ~levels ~penalty with
+  | sla -> (
+    try
+      Query.make ~est_size:(jfloat j "est_size") ~retries:(jint j "retries")
+        ~id:(jint j "id") ~arrival:(jfloat j "arrival") ~size:(jfloat j "size")
+        ~sla ()
+    with Invalid_argument e -> raise (Bad ("invalid query: " ^ e)))
+  | exception Sla.Invalid e -> raise (Bad ("invalid sla: " ^ e))
+
+let msg_of_json j =
+  match jstr j "t" with
+  | "hello" -> Hello { version = jint j "version"; client = jstr j "client" }
+  | "submit" -> Submit (query_of_json (jget j "q"))
+  | "eof" -> Eof
+  | "decision" ->
+    Decision
+      {
+        qid = jint j "qid";
+        vnow = jfloat j "vnow";
+        target = jopt_of j "target" Jsonx.to_int;
+        est_delta = jopt_of j "est_delta" Jsonx.to_float;
+      }
+  | "completion" ->
+    Completion
+      { qid = jint j "qid"; vnow = jfloat j "vnow"; profit = jfloat j "profit" }
+  | "dropped" -> Dropped { qid = jint j "qid"; vnow = jfloat j "vnow" }
+  | "summary" ->
+    Summary
+      {
+        completed = jint j "completed";
+        rejected = jint j "rejected";
+        dropped = jint j "dropped";
+        measured = jint j "measured";
+        late = jint j "late";
+        total_profit = jfloat j "total_profit";
+        avg_loss = jfloat j "avg_loss";
+        avg_response = jfloat j "avg_response";
+        vnow = jfloat j "vnow";
+      }
+  | "error" -> Error_msg (jstr j "msg")
+  | t -> raise (Bad (Printf.sprintf "unknown message type %S" t))
+
+let decode_json s =
+  match String.index_opt s '\n' with
+  | None ->
+    if String.length s > max_payload then Error (Malformed "line too long")
+    else Error Truncated
+  | Some nl -> (
+    let line =
+      if nl > 0 && s.[nl - 1] = '\r' then String.sub s 0 (nl - 1)
+      else String.sub s 0 nl
+    in
+    match Jsonx.parse line with
+    | j -> (
+      match msg_of_json j with
+      | m -> Ok (m, nl + 1)
+      | exception Bad e -> Error (Malformed e))
+    | exception Jsonx.Parse_error e -> Error (Malformed ("bad json: " ^ e)))
+
+(* ------------------------------------------------------------------ *)
+(* Public codec *)
+
+let encode = function Binary -> encode_binary | Json -> encode_json
+let decode = function Binary -> decode_binary | Json -> decode_json
+
+module Decoder = struct
+  type t = { mutable fr : framing option; mutable acc : string }
+
+  let create ?framing () = { fr = framing; acc = "" }
+  let framing t = t.fr
+  let feed t s = if s <> "" then t.acc <- (if t.acc = "" then s else t.acc ^ s)
+  let buffered t = String.length t.acc
+
+  let next t =
+    if t.acc = "" then Ok None
+    else begin
+      (match t.fr with
+      | Some _ -> ()
+      | None ->
+        t.fr <-
+          (match t.acc.[0] with
+          | '{' -> Some Json
+          | c when c = magic -> Some Binary
+          | _ -> None));
+      match t.fr with
+      | None -> Error "unknown framing (bad first byte)"
+      | Some fr -> (
+        match decode fr t.acc with
+        | Ok (m, n) ->
+          t.acc <- String.sub t.acc n (String.length t.acc - n);
+          Ok (Some m)
+        | Error Truncated ->
+          if String.length t.acc > 7 + max_payload then
+            Error "frame exceeds size cap"
+          else Ok None
+        | Error (Malformed e) -> Error e)
+    end
+end

@@ -96,15 +96,13 @@ type server_event =
 type t = {
   mutable servers : server array;
   mutable now : float;
-  mutable next_arrival : int;
-  queries : Query.t array;
   completions : (float * int * int) Heap.t;  (** (time, server, token) *)
   mutable token_counter : int;  (** completion-entry tokens, unique per start *)
   mutable on_event : (sid:int -> now:float -> server_event -> unit) option;
   mutable arrive : (Query.t -> unit) option;
       (** the full arrival path (dispatch + metrics + observers), set
-          by [run]; re-entered when a drain redistributes a buffer or
-          a crash handler re-injects a retry *)
+          by [session]; re-entered when a drain redistributes a buffer
+          or a crash handler re-injects a retry *)
 }
 
 (* [pick_next ~now buffer] returns the index (into the arrival-ordered
@@ -396,7 +394,7 @@ let reinject t q =
   | Some arrive -> arrive q
   | None -> invalid_arg "Sim.reinject: requires a running loop"
 
-let create ?speeds ~queries ~n_servers () =
+let create ?speeds ~n_servers () =
   if n_servers <= 0 then invalid_arg "Sim.create: n_servers must be positive";
   let speed_of =
     match speeds with
@@ -414,8 +412,6 @@ let create ?speeds ~queries ~n_servers () =
       Array.init n_servers (fun sid ->
           make_server ~sid ~speed:(speed_of sid) ~state:Active);
     now = 0.0;
-    next_arrival = 0;
-    queries;
     completions =
       Heap.create (fun (ta, sa, ka) (tb, sb, kb) ->
           let c = Float.compare ta tb in
@@ -428,10 +424,28 @@ let create ?speeds ~queries ~n_servers () =
     arrive = None;
   }
 
-let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
-    ?drop_policy ?ticker ?timers ~queries ~n_servers ~pick_next ~dispatch
+(* ------------------------------------------------------------------ *)
+(* Live session: the event loop behind [run], exposed as a stepping
+   API so a long-running process (lib/serve's daemon) can drive the
+   identical state machine from externally arriving queries. [run] is
+   a thin driver over it — advance to each arrival, inject, drain —
+   which is what makes served decisions bit-identical to simulated
+   ones by construction. *)
+
+type session = {
+  st : t;
+  s_timers : (float * (t -> unit)) array;
+  mutable s_timer_idx : int;
+  s_tick : (float ref * float * (t -> unit)) option;
+  s_arrive : Query.t -> unit;
+  s_pop_completion : unit -> unit;
+  s_fire_tick : (t -> unit) -> unit;
+}
+
+let session ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event
+    ?speeds ?drop_policy ?ticker ?timers ~n_servers ~pick_next ~dispatch
     ~metrics () =
-  let t = create ?speeds ~queries ~n_servers () in
+  let t = create ?speeds ~n_servers () in
   (* One-shot timed callbacks (fault injection plugs in here), fired at
      exactly their scheduled instants, in array order. Like the ticker,
      a timer only fires while an arrival or completion remains — the
@@ -450,10 +464,7 @@ let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
         a;
       a
   in
-  let n_timers = Array.length timers in
-  let timer_idx = ref 0 in
   t.on_event <- on_server_event;
-  let total = Array.length queries in
   (* Observability handles, resolved once per run; every hot-path hit
      below is guarded by the single [obs_on] branch (the unused names
      registered on the shared noop registry stay at zero forever). *)
@@ -561,69 +572,114 @@ let run ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event ?speeds
       finish_one s
     end
   in
-  let rec loop () =
-    let next_completion = Heap.peek t.completions in
-    let next_arrival =
-      if t.next_arrival < total then Some queries.(t.next_arrival) else None
-    in
-    let next_event =
-      match (next_completion, next_arrival) with
-      | None, None -> None
-      | Some (tc, _, _), None -> Some tc
-      | None, Some qa -> Some qa.Query.arrival
-      | Some (tc, _, _), Some qa -> Some (Float.min tc qa.Query.arrival)
-    in
-    match next_event with
-    | None -> ()
-    | Some te ->
-      (* Timed callbacks preempt everything at or after their instant
-         (a fault at t strikes before the arrival, completion or tick
-         at t). *)
-      let timer_due =
-        !timer_idx < n_timers
-        && fst timers.(!timer_idx) <= te
-        &&
-        match tick with
-        | Some (next_tick, _, _) -> fst timers.(!timer_idx) <= !next_tick
-        | None -> true
-      in
-      if timer_due then begin
-        let at, f = timers.(!timer_idx) in
-        incr timer_idx;
-        (* A timer scheduled in the past fires now (time is monotone). *)
-        t.now <- Float.max t.now at;
-        f t;
-        loop ()
-      end
-      else begin
-        match tick with
-        | Some (next_tick, interval, f) when !next_tick <= te ->
-          t.now <- !next_tick;
-          next_tick := !next_tick +. interval;
-          if obs_on then begin
-            Obs.Trace.begin_span tr ~cat:"sim"
-              ~args:[ ("sim_t", Obs.Trace.F t.now) ]
-              "tick";
-            f t;
-            Obs.Trace.end_span tr ()
-          end
-          else f t;
-          loop ()
-        | _ -> begin
-          match (next_completion, next_arrival) with
-          | Some (tc, _, _), Some qa when tc <= qa.Query.arrival ->
-            pop_completion ();
-            loop ()
-          | Some _, Some qa | None, Some qa ->
-            t.next_arrival <- t.next_arrival + 1;
-            t.now <- qa.Query.arrival;
-            arrive qa;
-            loop ()
-          | Some _, None ->
-            pop_completion ();
-            loop ()
-          | None, None -> ()
-        end
-      end
+  let fire_tick f =
+    if obs_on then begin
+      Obs.Trace.begin_span tr ~cat:"sim"
+        ~args:[ ("sim_t", Obs.Trace.F t.now) ]
+        "tick";
+      f t;
+      Obs.Trace.end_span tr ()
+    end
+    else f t
   in
-  loop ()
+  {
+    st = t;
+    s_timers = timers;
+    s_timer_idx = 0;
+    s_tick = tick;
+    s_arrive = arrive;
+    s_pop_completion = pop_completion;
+    s_fire_tick = fire_tick;
+  }
+
+let sim sess = sess.st
+
+(* Process every timer, tick and completion due before the next
+   arrival. [limit] is the pending arrival's time ([None] while
+   draining: only the completion heap bounds the clock then). The
+   precedence is [run]'s historical one: a timed callback preempts
+   everything at or after its instant, then a due tick, then the
+   earliest completion; stale completion entries are discarded without
+   advancing the clock. *)
+let rec pump sess ~limit =
+  let t = sess.st in
+  let next_completion = Heap.peek t.completions in
+  let next_event =
+    match (next_completion, limit) with
+    | None, None -> None
+    | Some (tc, _, _), None -> Some tc
+    | None, Some l -> Some l
+    | Some (tc, _, _), Some l -> Some (Float.min tc l)
+  in
+  match next_event with
+  | None -> ()
+  | Some te ->
+    let timer_due =
+      sess.s_timer_idx < Array.length sess.s_timers
+      && fst sess.s_timers.(sess.s_timer_idx) <= te
+      &&
+      match sess.s_tick with
+      | Some (next_tick, _, _) ->
+        fst sess.s_timers.(sess.s_timer_idx) <= !next_tick
+      | None -> true
+    in
+    if timer_due then begin
+      let at, f = sess.s_timers.(sess.s_timer_idx) in
+      sess.s_timer_idx <- sess.s_timer_idx + 1;
+      (* A timer scheduled in the past fires now (time is monotone). *)
+      t.now <- Float.max t.now at;
+      f t;
+      pump sess ~limit
+    end
+    else begin
+      match sess.s_tick with
+      | Some (next_tick, interval, f) when !next_tick <= te ->
+        t.now <- !next_tick;
+        next_tick := !next_tick +. interval;
+        sess.s_fire_tick f;
+        pump sess ~limit
+      | _ -> begin
+        match (next_completion, limit) with
+        | Some (tc, _, _), Some l when tc <= l ->
+          sess.s_pop_completion ();
+          pump sess ~limit
+        | Some _, None ->
+          sess.s_pop_completion ();
+          pump sess ~limit
+        | Some _, Some _ | None, Some _ | None, None -> ()
+      end
+    end
+
+let advance sess ~until = pump sess ~limit:(Some (Float.max until sess.st.now))
+
+let drain sess = pump sess ~limit:None
+
+let inject sess q =
+  pump sess ~limit:(Some (Float.max q.Query.arrival sess.st.now));
+  (* A query whose stamped arrival the clock already passed (a lagging
+     live client) arrives now; its SLA clock still runs from the
+     stamped arrival. *)
+  sess.st.now <- Float.max sess.st.now q.Query.arrival;
+  sess.s_arrive q
+
+let next_event_time sess =
+  let t = sess.st in
+  let best = ref infinity in
+  (match Heap.peek t.completions with
+  | Some (tc, _, _) -> best := tc
+  | None -> ());
+  if sess.s_timer_idx < Array.length sess.s_timers then
+    best := Float.min !best (fst sess.s_timers.(sess.s_timer_idx));
+  (match sess.s_tick with
+  | Some (next_tick, _, _) -> best := Float.min !best !next_tick
+  | None -> ());
+  if Float.is_finite !best then Some !best else None
+
+let run ?obs ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy
+    ?ticker ?timers ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
+  let sess =
+    session ?obs ?on_dispatch ?on_complete ?on_server_event ?speeds
+      ?drop_policy ?ticker ?timers ~n_servers ~pick_next ~dispatch ~metrics ()
+  in
+  Array.iter (fun q -> inject sess q) queries;
+  drain sess

@@ -235,3 +235,63 @@ val run :
   metrics:Metrics.t ->
   unit ->
   unit
+
+(** {2 Live sessions}
+
+    The event loop behind {!run}, exposed as a stepping API so a
+    long-running process (the [lib/serve] daemon) can drive the
+    identical decision state machine from externally arriving queries.
+    {!run} itself is [inject] per query followed by [drain], which is
+    what makes served decisions bit-identical to simulated ones by
+    construction. *)
+
+type session
+
+(** Same parameters and semantics as {!run}, minus the workload: the
+    caller feeds queries with {!inject} instead of handing over an
+    array. All observer hooks, the drop policy, the ticker and the
+    one-shot timers behave exactly as under {!run}. *)
+val session :
+  ?obs:Obs.t ->
+  ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
+  ?on_complete:(Query.t -> completion:float -> unit) ->
+  ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->
+  ?speeds:float array ->
+  ?drop_policy:(now:float -> Query.t -> bool) ->
+  ?ticker:float * (t -> unit) ->
+  ?timers:(float * (t -> unit)) array ->
+  n_servers:int ->
+  pick_next:pick_next ->
+  dispatch:dispatch ->
+  metrics:Metrics.t ->
+  unit ->
+  session
+
+(** The underlying pool (for probes, {!add_server} etc.). *)
+val sim : session -> t
+
+(** Process every timer, tick and completion due at or before [until]
+    (in {!run}'s historical precedence: due timers first, then due
+    ticks, then the earliest completion), leaving the clock at the
+    last processed event. [until] earlier than the current clock is a
+    no-op — time is monotone. *)
+val advance : session -> until:float -> unit
+
+(** [advance] to the query's arrival, then run the full arrival path
+    (dispatch, metrics, observers — exactly {!run}'s). A query whose
+    stamped arrival the clock has already passed (a lagging live
+    client) arrives at the current clock instead, but keeps its
+    stamped arrival as the SLA clock origin. *)
+val inject : session -> Query.t -> unit
+
+(** Time of the earliest pending internal event — completion, one-shot
+    timer or tick — or [None] when the session holds no work and no
+    armed timer ([None] means {!advance} cannot change anything until
+    the next {!inject}). A serving loop derives its poll timeout from
+    this. *)
+val next_event_time : session -> float option
+
+(** Run every remaining completion (timers and ticks that precede them
+    included) to quiescence: afterwards no query is running or
+    buffered anywhere. *)
+val drain : session -> unit

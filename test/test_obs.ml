@@ -336,6 +336,66 @@ let test_elastic_decision_events () =
     (count "elastic.scale_downs");
   check_int "decisions = ticks" s.Elastic.decisions (count "elastic.decisions")
 
+(* ------------------------------------------------------------------ *)
+(* Teardown: on_close / flush / close *)
+
+let test_close_runs_flushers_in_order () =
+  let obs = Obs.create () in
+  let log = ref [] in
+  Obs.on_close obs (fun () -> log := "a" :: !log);
+  Obs.on_close obs (fun () -> log := "b" :: !log);
+  check_bool "not closed before" false (Obs.closed obs);
+  Obs.close obs;
+  check_bool "closed after" true (Obs.closed obs);
+  (* Registration order. *)
+  check_bool "flushers ran in order" true (List.rev !log = [ "a"; "b" ])
+
+let test_close_idempotent () =
+  let obs = Obs.create () in
+  let runs = ref 0 in
+  Obs.on_close obs (fun () -> incr runs);
+  Obs.close obs;
+  Obs.close obs;
+  check_int "flusher ran once" 1 !runs;
+  (* Registrations after close are dropped. *)
+  Obs.on_close obs (fun () -> runs := 100);
+  Obs.close obs;
+  check_int "post-close registration ignored" 1 !runs
+
+let test_flush_without_close () =
+  let obs = Obs.create () in
+  let runs = ref 0 in
+  Obs.on_close obs (fun () -> incr runs);
+  Obs.flush obs;
+  Obs.flush obs;
+  check_int "flush reruns (periodic checkpointing)" 2 !runs;
+  check_bool "flush does not close" false (Obs.closed obs);
+  Obs.close obs;
+  check_int "close flushes once more" 3 !runs
+
+let test_noop_sink_drops_registrations () =
+  let obs = Obs.noop in
+  let runs = ref 0 in
+  Obs.on_close obs (fun () -> incr runs);
+  Obs.flush obs;
+  Obs.close obs;
+  check_int "noop never runs flushers" 0 !runs
+
+let test_flusher_exception_runs_all () =
+  let obs = Obs.create () in
+  let log = ref [] in
+  Obs.on_close obs (fun () -> log := "a" :: !log);
+  Obs.on_close obs (fun () -> failwith "first");
+  Obs.on_close obs (fun () -> failwith "second");
+  Obs.on_close obs (fun () -> log := "d" :: !log);
+  (match Obs.close obs with
+  | exception Failure m -> check_string "first exception wins" "first" m
+  | () -> Alcotest.fail "close should re-raise the flusher exception");
+  (* Every flusher still ran, and the obs still ended up closed. *)
+  check_bool "non-raising flushers all ran" true (List.rev !log = [ "a"; "d" ]);
+  check_bool "closed despite exception" true (Obs.closed obs);
+  Obs.close obs
+
 let () =
   Alcotest.run "obs"
     [
@@ -373,5 +433,17 @@ let () =
             test_sched_decision_latency_recorded;
           Alcotest.test_case "elastic decision events" `Slow
             test_elastic_decision_events;
+        ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "close runs flushers in order" `Quick
+            test_close_runs_flushers_in_order;
+          Alcotest.test_case "close idempotent" `Quick test_close_idempotent;
+          Alcotest.test_case "flush without close" `Quick
+            test_flush_without_close;
+          Alcotest.test_case "noop drops registrations" `Quick
+            test_noop_sink_drops_registrations;
+          Alcotest.test_case "flusher exception runs all" `Quick
+            test_flusher_exception_runs_all;
         ] );
     ]

@@ -1,0 +1,308 @@
+(* Wire codec: round-trip fuzz in both framings, incremental decoding
+   under arbitrary chunkings, and rejection of truncated / garbage
+   input. Plus the Jsonx parser the Json framing rides on. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx *)
+
+let test_jsonx_parse () =
+  let open Jsonx in
+  (match parse {|{"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5e3}}|} with
+  | Obj _ as j ->
+    check_bool "a" true (to_int (Option.get (member "a" j)) = Some 1);
+    (match member "b" j with
+    | Some (Arr [ Bool true; Null; Str s ]) -> check_str "escape" "x\n" s
+    | _ -> Alcotest.fail "b mismatch");
+    (match member "c" j with
+    | Some c -> check_bool "d" true (to_float (Option.get (member "d" c)) = Some (-2500.0))
+    | None -> Alcotest.fail "no c")
+  | _ -> Alcotest.fail "not an object");
+  check_bool "trailing garbage rejected" true (parse_opt "{} x" = None);
+  check_bool "empty rejected" true (parse_opt "" = None);
+  check_bool "bad escape rejected" true (parse_opt {|"\q"|} = None);
+  check_bool "unterminated rejected" true (parse_opt {|{"a": 1|} = None);
+  check_bool "inf token" true (parse_opt "inf" = Some (Num Float.infinity));
+  check_bool "-inf token" true (parse_opt "-inf" = Some (Num Float.neg_infinity));
+  (match parse_opt "nan" with
+  | Some (Num f) -> check_bool "nan token" true (Float.is_nan f)
+  | _ -> Alcotest.fail "nan not parsed")
+
+let test_jsonx_float_roundtrip () =
+  List.iter
+    (fun f ->
+      let s = Jsonx.float_literal f in
+      match Jsonx.parse s with
+      | Jsonx.Num g ->
+        check_bool
+          (Printf.sprintf "float %h survives as %s" f s)
+          true
+          (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g)
+          || (Float.is_nan f && Float.is_nan g))
+      | _ -> Alcotest.fail "not a number"
+      | exception Jsonx.Parse_error e -> Alcotest.fail e)
+    [ 0.0; -0.0; 1.0; 0.1; Float.pi; 1e-300; -1.7976931348623157e308;
+      4.9e-324; Float.infinity; Float.neg_infinity; Float.nan; 12345.6789 ]
+
+let test_jsonx_print_parse () =
+  let open Jsonx in
+  let j =
+    Obj
+      [ ("s", Str "a\"b\\c\n"); ("n", Num 3.25); ("l", Arr [ Num 1.0; Null ]);
+        ("e", Obj []) ]
+  in
+  check_bool "print/parse identity" true (parse (to_string j) = j)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_sla =
+  QCheck.Gen.(
+    let* n = 1 -- 4 in
+    let* raw_bounds = list_repeat n (float_range 0.1 1000.0) in
+    let* raw_gains = list_repeat n (float_range 0.1 10.0) in
+    let* penalty = float_range 0.0 5.0 in
+    let bounds = List.sort_uniq Float.compare raw_bounds in
+    let gains = List.sort_uniq Float.compare raw_gains |> List.rev in
+    let k = min (List.length bounds) (List.length gains) in
+    let levels =
+      List.init k (fun i ->
+          { Sla.bound = List.nth bounds i; gain = List.nth gains i })
+    in
+    return (Sla.make ~levels ~penalty))
+
+let gen_query =
+  QCheck.Gen.(
+    let* id = 0 -- 1_000_000 in
+    let* arrival = float_range 0.0 1e6 in
+    let* size = float_range 0.001 1e4 in
+    let* est_size = float_range 0.001 1e4 in
+    let* retries = 0 -- 3 in
+    let* sla = gen_sla in
+    return (Query.make ~est_size ~retries ~id ~arrival ~size ~sla ()))
+
+let gen_opt g = QCheck.Gen.(oneof [ return None; map Option.some g ])
+
+let gen_msg =
+  QCheck.Gen.(
+    let f = float_range (-1e6) 1e6 in
+    oneof
+      [
+        ( let* client = string_size ~gen:printable (0 -- 40) in
+          let* version = 0 -- 100 in
+          return (Wire.Hello { version; client }) );
+        map (fun q -> Wire.Submit q) gen_query;
+        return Wire.Eof;
+        ( let* qid = 0 -- 1_000_000 in
+          let* vnow = f in
+          let* target = gen_opt (0 -- 64) in
+          let* est_delta = gen_opt f in
+          return (Wire.Decision { qid; vnow; target; est_delta }) );
+        ( let* qid = 0 -- 1_000_000 in
+          let* vnow = f in
+          let* profit = f in
+          return (Wire.Completion { qid; vnow; profit }) );
+        ( let* qid = 0 -- 1_000_000 in
+          let* vnow = f in
+          return (Wire.Dropped { qid; vnow }) );
+        ( let* completed = 0 -- 1_000_000 in
+          let* rejected = 0 -- 1000 in
+          let* dropped = 0 -- 1000 in
+          let* measured = 0 -- 1_000_000 in
+          let* late = 0 -- 1_000_000 in
+          let* total_profit = f in
+          let* avg_loss = f in
+          let* avg_response = float_range 0.0 1e6 in
+          let* vnow = float_range 0.0 1e9 in
+          return
+            (Wire.Summary
+               { completed; rejected; dropped; measured; late; total_profit;
+                 avg_loss; avg_response; vnow }) );
+        map (fun e -> Wire.Error_msg e) (string_size ~gen:printable (0 -- 60));
+      ])
+
+let arbitrary_msg = QCheck.make ~print:(Fmt.to_to_string Wire.pp) gen_msg
+
+let arbitrary_msgs =
+  QCheck.make
+    ~print:Fmt.(to_to_string (Dump.list Wire.pp))
+    QCheck.Gen.(list_size (1 -- 8) gen_msg)
+
+(* ------------------------------------------------------------------ *)
+(* Round trips *)
+
+let roundtrips framing m =
+  let s = Wire.encode framing m in
+  match Wire.decode framing s with
+  | Ok (m', n) -> n = String.length s && Wire.equal m m'
+  | Error _ -> false
+
+let prop_roundtrip_binary =
+  QCheck.Test.make ~name:"binary encode/decode is bit-exact" ~count:500
+    arbitrary_msg (roundtrips Wire.Binary)
+
+let prop_roundtrip_json =
+  QCheck.Test.make ~name:"json encode/decode is bit-exact" ~count:500
+    arbitrary_msg (roundtrips Wire.Json)
+
+(* Streams survive arbitrary chunk boundaries: concatenate several
+   frames, feed the decoder in random-sized pieces, get the same
+   messages back in order. *)
+let prop_decoder_chunked framing =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "decoder reassembles chunked %s stream"
+         (match framing with Wire.Binary -> "binary" | Wire.Json -> "json"))
+    ~count:200
+    QCheck.(pair arbitrary_msgs small_nat)
+    (fun (msgs, chunk_seed) ->
+      let stream = String.concat "" (List.map (Wire.encode framing) msgs) in
+      let dec = Wire.Decoder.create () in
+      let out = ref [] in
+      let drain () =
+        let continue = ref true in
+        while !continue do
+          match Wire.Decoder.next dec with
+          | Ok (Some m) -> out := m :: !out
+          | Ok None -> continue := false
+          | Error e -> QCheck.Test.fail_reportf "decode error: %s" e
+        done
+      in
+      let chunk = 1 + (chunk_seed mod 7) in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let n = min chunk (String.length stream - !i) in
+        Wire.Decoder.feed dec (String.sub stream !i n);
+        drain ();
+        i := !i + n
+      done;
+      let got = List.rev !out in
+      List.length got = List.length msgs
+      && List.for_all2 Wire.equal msgs got
+      && Wire.Decoder.buffered dec = 0)
+
+(* Every strict prefix of a frame is Truncated, never Malformed and
+   never a phantom message. *)
+let prop_truncation_binary =
+  QCheck.Test.make ~name:"binary frame prefixes decode as Truncated" ~count:200
+    arbitrary_msg (fun m ->
+      let s = Wire.encode Wire.Binary m in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        match Wire.decode Wire.Binary (String.sub s 0 n) with
+        | Error Wire.Truncated -> ()
+        | Ok _ | Error (Wire.Malformed _) -> ok := false
+      done;
+      !ok)
+
+let test_garbage_prefix () =
+  (* Binary: wrong magic is rejected immediately. *)
+  (match Wire.decode Wire.Binary "\x00\x01\x02\x03\x04\x05\x06\x07" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (* Unknown tag. *)
+  (match Wire.decode Wire.Binary "\xA7\x01\x63\x00\x00\x00\x00" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "unknown tag accepted");
+  (* Wrong version. *)
+  (match Wire.decode Wire.Binary "\xA7\x63\x03\x00\x00\x00\x00" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "bad version accepted");
+  (* Oversized length field. *)
+  (match Wire.decode Wire.Binary "\xA7\x01\x03\x7f\xff\xff\xff" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "oversized frame accepted");
+  (* Json: a line of garbage. *)
+  (match Wire.decode Wire.Json "not json at all\n" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "garbage json line accepted");
+  (* Json: valid json, wrong shape. *)
+  (match Wire.decode Wire.Json "{\"t\": \"nonsense\"}\n" with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "unknown message type accepted");
+  (* Decoder: garbage first byte fails framing detection. *)
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed dec "garbage";
+  (match Wire.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage prefix accepted by decoder");
+  (* Decoder: a malformed frame after a valid one still errors. *)
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed dec (Wire.encode Wire.Binary Wire.Eof ^ "\xA7\x01\x63");
+  (match Wire.Decoder.next dec with
+  | Ok (Some Wire.Eof) -> ()
+  | _ -> Alcotest.fail "valid frame lost");
+  Wire.Decoder.feed dec "\x00\x00\x00\x00";
+  match Wire.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed second frame accepted"
+
+let test_framing_autodetect () =
+  let dec = Wire.Decoder.create () in
+  check_bool "undetected" true (Wire.Decoder.framing dec = None);
+  Wire.Decoder.feed dec (Wire.encode Wire.Json Wire.Eof);
+  (match Wire.Decoder.next dec with
+  | Ok (Some Wire.Eof) -> ()
+  | _ -> Alcotest.fail "json frame not decoded");
+  check_bool "json detected" true (Wire.Decoder.framing dec = Some Wire.Json);
+  let dec = Wire.Decoder.create () in
+  Wire.Decoder.feed dec (Wire.encode Wire.Binary Wire.Eof);
+  (match Wire.Decoder.next dec with
+  | Ok (Some Wire.Eof) -> ()
+  | _ -> Alcotest.fail "binary frame not decoded");
+  check_bool "binary detected" true
+    (Wire.Decoder.framing dec = Some Wire.Binary)
+
+let test_submit_roundtrip_example () =
+  (* One worked example with exact expectations, so a fuzz regression
+     has a readable anchor. *)
+  let sla =
+    Sla.make
+      ~levels:[ { Sla.bound = 100.0; gain = 2.0 }; { bound = 250.0; gain = 0.5 } ]
+      ~penalty:1.0
+  in
+  let q = Query.make ~est_size:19.5 ~id:42 ~arrival:1234.5 ~size:20.25 ~sla () in
+  List.iter
+    (fun framing ->
+      match Wire.decode framing (Wire.encode framing (Wire.Submit q)) with
+      | Ok (Wire.Submit q', _) ->
+        check_int "id" 42 q'.Query.id;
+        check_bool "arrival" true (q'.Query.arrival = 1234.5);
+        check_bool "size" true (q'.Query.size = 20.25);
+        check_bool "est" true (q'.Query.est_size = 19.5);
+        check_bool "sla" true (Sla.equal sla q'.Query.sla)
+      | _ -> Alcotest.fail "submit did not round-trip")
+    [ Wire.Binary; Wire.Json ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "parse" `Quick test_jsonx_parse;
+          Alcotest.test_case "float literal roundtrip" `Quick
+            test_jsonx_float_roundtrip;
+          Alcotest.test_case "print/parse identity" `Quick
+            test_jsonx_print_parse;
+        ] );
+      ( "roundtrip",
+        [
+          qtest prop_roundtrip_binary;
+          qtest prop_roundtrip_json;
+          Alcotest.test_case "submit example" `Quick
+            test_submit_roundtrip_example;
+        ] );
+      ( "decoder",
+        [
+          qtest (prop_decoder_chunked Wire.Binary);
+          qtest (prop_decoder_chunked Wire.Json);
+          qtest prop_truncation_binary;
+          Alcotest.test_case "garbage rejection" `Quick test_garbage_prefix;
+          Alcotest.test_case "framing autodetect" `Quick
+            test_framing_autodetect;
+        ] );
+    ]
