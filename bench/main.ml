@@ -596,6 +596,144 @@ let run_serve scale =
     sv_dispatch_lat = dispatch_lat;
   }
 
+(* Part 1g — swf: the real-trace path. The committed SWF fixture is
+   tiled into a ~1M-job stream (smoke: ~50k): streaming parse
+   throughput (MB/s, jobs/s), SLA-synthesis throughput, and the
+   end-to-end streamed experiment cell, with the GC's top-of-heap as
+   the proxy showing no pass ever materializes the trace. *)
+
+type swf_bench = {
+  sw_path : string;
+  sw_file_jobs : int;
+  sw_tiles : int;
+  sw_mb : float;  (** bytes streamed through the parser, MB *)
+  sw_parse_ms : float;
+  sw_parse_mb_s : float;
+  sw_parse_jobs_s : float;
+  sw_synth_queries : int;
+  sw_synth_ms : float;
+  sw_synth_jobs_s : float;
+  sw_run_queries : int;
+  sw_run_ms : float;
+  sw_run_qps : float;
+  sw_peak_heap_mb : float;
+}
+
+let fixture_swf () =
+  let committed =
+    List.fold_left Filename.concat "test" [ "data"; "pwa_excerpt.swf" ]
+  in
+  if Sys.file_exists committed then (committed, false)
+  else begin
+    (* Bench invoked away from the repo root: generate a stand-in of
+       the same shape so the section still measures something real. *)
+    let path = Filename.temp_file "slatree-bench" ".swf" in
+    let rng = Prng.create 20110322 in
+    let t = ref 0.0 in
+    let jobs =
+      Array.init 2500 (fun i ->
+          t := !t +. Prng.exponential rng ~mean:160.0;
+          let run_time = Float.round (Prng.exponential rng ~mean:1500.0) +. 1.0 in
+          let req_time =
+            if Prng.float rng < 0.12 then -1.0
+            else Float.round (run_time *. (1.0 +. (3.0 *. Prng.float rng)))
+          in
+          {
+            Swf.job_id = i + 1; submit = Float.round !t; wait = -1.0; run_time;
+            procs = 1; cpu_time = -1.0; memory = -1.0; req_procs = 1; req_time;
+            req_memory = -1.0; status = 1; user = 1; group = 1; app = 1;
+            queue = 1; partition = 1; preceding = -1; think_time = -1.0;
+          })
+    in
+    Swf.save path ~header:[ "Computer: generated bench stand-in" ] jobs;
+    (path, true)
+  end
+
+let run_swf scale =
+  let path, temp = fixture_swf () in
+  Fun.protect
+    ~finally:(fun () -> if temp then Sys.remove path)
+    (fun () ->
+      let tiles =
+        if scale.Exp_scale.n_queries <= Exp_scale.smoke.Exp_scale.n_queries
+        then 20
+        else 417 (* 2500 jobs x 417 ~ 1.04M *)
+      in
+      let file_mb =
+        Float.of_int (Unix.stat path).Unix.st_size /. (1024.0 *. 1024.0)
+      in
+      Fmt.pr "=== swf: real-trace streaming, %s x %d tiles ===@." path tiles;
+      (* Parse only. *)
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let file_jobs = ref 0 in
+      for _ = 1 to tiles do
+        file_jobs := Swf.fold path ~init:0 ~f:(fun n _ -> n + 1)
+      done;
+      let parse_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let total_jobs = tiles * !file_jobs in
+      let mb = file_mb *. Float.of_int tiles in
+      let parse_mb_s = mb /. parse_ms *. 1e3 in
+      let parse_jobs_s = Float.of_int total_jobs /. parse_ms *. 1e3 in
+      (* Parse + SLA synthesis. *)
+      let synth_cfg = Sla_synth.config ~time_scale:10.0 () in
+      let stats = Sla_synth.stats_create () in
+      let t0 = Unix.gettimeofday () in
+      Seq.iter ignore (Sla_synth.stream synth_cfg ~tiles ~stats ~path ());
+      let synth_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let synth_jobs_s = Float.of_int stats.Sla_synth.read /. synth_ms *. 1e3 in
+      (* End-to-end: the streamed experiment cell (incremental SLA-tree
+         scheduling and dispatching) over the full tiled stream. *)
+      let n_servers = 20 in
+      let warmup_id = stats.Sla_synth.kept / 10 in
+      let metrics = Metrics.create ~response_cap:65_536 ~warmup_id () in
+      let pick_next, hook =
+        Schedulers.instantiate Schedulers.fcfs_sla_tree_incr
+      in
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let sess =
+        Sim.session ?on_server_event:hook ~n_servers ~pick_next
+          ~dispatch:(Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()))
+          ~metrics ()
+      in
+      Seq.iter (Sim.inject sess)
+        (Sla_synth.stream synth_cfg ~tiles ~path ());
+      Sim.drain sess;
+      let run_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let run_queries = Metrics.completed_count metrics in
+      let run_qps = Float.of_int stats.Sla_synth.kept /. run_ms *. 1e3 in
+      let peak_heap_mb =
+        Float.of_int (Gc.quick_stat ()).Gc.top_heap_words
+        *. Float.of_int (Sys.word_size / 8)
+        /. (1024.0 *. 1024.0)
+      in
+      Fmt.pr "parse:     %10.0f ms  %8.1f MB/s %12.0f jobs/s (%d jobs)@."
+        parse_ms parse_mb_s parse_jobs_s total_jobs;
+      Fmt.pr "synthesis: %10.0f ms %22.0f jobs/s (%d queries)@." synth_ms
+        synth_jobs_s stats.Sla_synth.kept;
+      Fmt.pr
+        "streamed run: %7.0f ms %22.0f queries/s (%d completed, %d servers)@."
+        run_ms run_qps run_queries n_servers;
+      Fmt.pr "top of heap after streaming %d jobs: %.1f MB@.@." total_jobs
+        peak_heap_mb;
+      {
+        sw_path = path;
+        sw_file_jobs = !file_jobs;
+        sw_tiles = tiles;
+        sw_mb = mb;
+        sw_parse_ms = parse_ms;
+        sw_parse_mb_s = parse_mb_s;
+        sw_parse_jobs_s = parse_jobs_s;
+        sw_synth_queries = stats.Sla_synth.kept;
+        sw_synth_ms = synth_ms;
+        sw_synth_jobs_s = synth_jobs_s;
+        sw_run_queries = run_queries;
+        sw_run_ms = run_ms;
+        sw_run_qps = run_qps;
+        sw_peak_heap_mb = peak_heap_mb;
+      })
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_sim.json). Hand-rolled writer: the
    schema is flat and the toolchain has no JSON dependency. *)
@@ -618,7 +756,7 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
-    ~parallel ~serve =
+    ~parallel ~serve ~swf =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -754,6 +892,32 @@ let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
        serve.sv_profit_identical);
   lat_json "sched_decision_ns" serve.sv_sched_lat false;
   lat_json "dispatch_decision_ns" serve.sv_dispatch_lat true;
+  add "  },\n";
+  add "  \"swf\": {\n";
+  add (Printf.sprintf "    \"fixture\": \"%s\",\n" (json_escape swf.sw_path));
+  add (Printf.sprintf "    \"file_jobs\": %d,\n" swf.sw_file_jobs);
+  add (Printf.sprintf "    \"tiles\": %d,\n" swf.sw_tiles);
+  add (Printf.sprintf "    \"jobs\": %d,\n" (swf.sw_file_jobs * swf.sw_tiles));
+  add (Printf.sprintf "    \"mb\": %s,\n" (json_float swf.sw_mb));
+  add (Printf.sprintf "    \"parse_ms\": %s,\n" (json_float swf.sw_parse_ms));
+  add
+    (Printf.sprintf "    \"parse_mb_s\": %s,\n" (json_float swf.sw_parse_mb_s));
+  add
+    (Printf.sprintf "    \"parse_jobs_s\": %s,\n"
+       (json_float swf.sw_parse_jobs_s));
+  add
+    (Printf.sprintf "    \"synth_queries\": %d,\n" swf.sw_synth_queries);
+  add (Printf.sprintf "    \"synth_ms\": %s,\n" (json_float swf.sw_synth_ms));
+  add
+    (Printf.sprintf "    \"synth_jobs_s\": %s,\n"
+       (json_float swf.sw_synth_jobs_s));
+  add
+    (Printf.sprintf "    \"run_queries\": %d,\n" swf.sw_run_queries);
+  add (Printf.sprintf "    \"run_ms\": %s,\n" (json_float swf.sw_run_ms));
+  add (Printf.sprintf "    \"run_qps\": %s,\n" (json_float swf.sw_run_qps));
+  add
+    (Printf.sprintf "    \"peak_heap_mb\": %s\n"
+       (json_float swf.sw_peak_heap_mb));
   add "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -778,9 +942,10 @@ let () =
   let elastic = run_elastic scale in
   let parallel = run_parallel scale in
   let serve = run_serve scale in
+  let swf = run_swf scale in
   let micro = run_micro () in
   emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~scale_run
-    ~elastic ~obs ~faults ~parallel ~serve;
+    ~elastic ~obs ~faults ~parallel ~serve ~swf;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

@@ -702,6 +702,200 @@ let trace_cmd =
     [ trace_generate_cmd; trace_replay_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* Real traces: SWF logs from the Parallel Workloads Archive through
+   the SLA synthesis layer. See EXPERIMENTS.md "Real traces". *)
+
+let time_scale_arg =
+  Arg.(value & opt float 1.0
+       & info [ "time-scale" ] ~docv:"F"
+           ~doc:
+             "Virtual milliseconds per SWF second. A pure unit change: \
+              inter-arrivals and sizes scale together, so utilization is \
+              invariant")
+
+let load_factor_arg =
+  Arg.(value & opt float 1.0
+       & info [ "load-factor" ] ~docv:"F"
+           ~doc:
+             "Compress arrivals by this factor (>1 = heavier load; sizes \
+              untouched) — one log yields a whole load sweep")
+
+let classes_spec_arg =
+  Arg.(value & opt (some string) None
+       & info [ "classes" ] ~docv:"SPEC" ~doc:Sla_synth.classes_doc)
+
+let stretch_arg =
+  Arg.(value & opt string "1,3"
+       & info [ "stretch" ] ~docv:"K1,K2,..."
+           ~doc:
+             "Deadline stretch tiers: response bound k is K_k times the \
+              requested time. Strictly increasing; every class needs one \
+              gain per tier")
+
+let synth_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Class-draw seed (the only randomness in the synthesis)")
+
+let tile_arg =
+  Arg.(value & opt int 1
+       & info [ "tile" ] ~docv:"N"
+           ~doc:
+             "Stream the log N times end-to-end, each pass offset past the \
+              previous one's span — scales a small fixture up to millions \
+              of jobs")
+
+let max_jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-jobs" ] ~docv:"N" ~doc:"Stop after synthesizing N queries")
+
+let synth_config ~time_scale ~load_factor ~classes ~stretch ~seed =
+  let ( let* ) = Result.bind in
+  let* classes =
+    match classes with
+    | None -> Ok Sla_synth.default_classes
+    | Some s -> Sla_synth.classes_of_string s
+  in
+  let* stretches =
+    match
+      String.split_on_char ',' stretch
+      |> List.map (fun s -> float_of_string (String.trim s))
+    with
+    | l -> Ok (Array.of_list l)
+    | exception Failure _ -> Error (Printf.sprintf "bad --stretch %S" stretch)
+  in
+  match Sla_synth.config ~classes ~stretches ~time_scale ~load_factor ~seed () with
+  | cfg -> Ok cfg
+  | exception Invalid_argument e -> Error e
+
+let with_trace_cfg ~file ~time_scale ~load_factor ~classes ~stretch ~seed ~tile
+    ~max_jobs ~servers f =
+  match synth_config ~time_scale ~load_factor ~classes ~stretch ~seed with
+  | Error e -> `Error (false, e)
+  | Ok synth -> (
+    match Exp_trace.cfg ~synth ~tiles:tile ?max_jobs ~servers ~path:file () with
+    | exception Invalid_argument e -> `Error (false, e)
+    | c -> (
+      match f c with
+      | r -> r
+      | exception Swf.Parse_error e -> `Error (false, e)
+      | exception Sys_error e -> `Error (false, e)))
+
+let run_workload_inspect file time_scale load_factor classes stretch seed tile
+    max_jobs servers =
+  with_trace_cfg ~file ~time_scale ~load_factor ~classes ~stretch ~seed ~tile
+    ~max_jobs ~servers (fun c ->
+      Swf.with_file file (fun r ->
+          List.iter
+            (fun (k, v) ->
+              if k <> "" then Fmt.pf ppf "  %s: %s@." k v)
+            (Swf.metadata r));
+      let stats = Exp_trace.inspect c in
+      Fmt.pf ppf "%a@." Sla_synth.pp_stats stats;
+      Fmt.pf ppf "implied load at %d server(s): %.3f@." servers
+        (Sla_synth.implied_load stats ~servers);
+      `Ok ())
+
+let run_workload_convert file out time_scale load_factor classes stretch seed
+    tile max_jobs =
+  with_trace_cfg ~file ~time_scale ~load_factor ~classes ~stretch ~seed ~tile
+    ~max_jobs ~servers:1 (fun c ->
+      let stats = Sla_synth.stats_create () in
+      let n =
+        Trace_io.save_seq out
+          (Sla_synth.stream c.Exp_trace.synth ~tiles:tile ?max_jobs ~stats
+             ~path:file ())
+      in
+      Fmt.pf ppf "%a@." Sla_synth.pp_stats stats;
+      Fmt.pf ppf "wrote %d queries to %s@." n out;
+      `Ok ())
+
+let run_workload_exp file time_scale load_factor classes stretch seed tile
+    max_jobs servers warmup_frac no_variants jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () ->
+    with_trace_cfg ~file ~time_scale ~load_factor ~classes ~stretch ~seed ~tile
+      ~max_jobs ~servers (fun c ->
+        match
+          Exp_trace.cfg ~synth:c.Exp_trace.synth ~tiles:tile ?max_jobs ~servers
+            ~warmup_frac ~path:file ()
+        with
+        | exception Invalid_argument e -> `Error (false, e)
+        | c ->
+          Exp_trace.run ~variants:(not no_variants) ppf c;
+          `Ok ())
+
+let swf_file_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"SWF workload log")
+
+let trace_servers_arg =
+  Arg.(value & opt int 8 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+
+let workload_inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Stream an SWF log through the SLA synthesis and report what it \
+          yields (header metadata, kept/dropped counts, span, implied load) \
+          without retaining it")
+    Term.(
+      ret
+        (const run_workload_inspect $ swf_file_arg $ time_scale_arg
+       $ load_factor_arg $ classes_spec_arg $ stretch_arg $ synth_seed_arg
+       $ tile_arg $ max_jobs_arg $ trace_servers_arg))
+
+let workload_convert_cmd =
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output trace file")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Synthesize SLA queries from an SWF log and write them as a native \
+          trace file (slatree trace replay / replay --file), streaming both \
+          sides")
+    Term.(
+      ret
+        (const run_workload_convert $ swf_file_arg $ out $ time_scale_arg
+       $ load_factor_arg $ classes_spec_arg $ stretch_arg $ synth_seed_arg
+       $ tile_arg $ max_jobs_arg))
+
+let workload_exp_cmd =
+  let warmup_frac =
+    Arg.(value & opt float 0.1
+         & info [ "warmup-frac" ] ~docv:"F"
+             ~doc:"Leading fraction of kept queries excluded from measurement")
+  in
+  let no_variants =
+    Arg.(value & flag
+         & info [ "no-variants" ]
+             ~doc:"Skip the elastic and fault-storm variant rows")
+  in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:
+         "The trace-driven experiment grid: schedulers x dispatchers over \
+          the log, plus autoscaled and fault-injected variants. Output is \
+          bit-identical at any -j")
+    Term.(
+      ret
+        (const run_workload_exp $ swf_file_arg $ time_scale_arg
+       $ load_factor_arg $ classes_spec_arg $ stretch_arg $ synth_seed_arg
+       $ tile_arg $ max_jobs_arg $ trace_servers_arg $ warmup_frac
+       $ no_variants $ jobs_arg))
+
+let workload_cmd =
+  Cmd.group
+    (Cmd.info "workload"
+       ~doc:
+         "Real cluster logs (Standard Workload Format) as SLA workloads: \
+          inspect, convert, run experiment grids")
+    [ workload_inspect_cmd; workload_convert_cmd; workload_exp_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* Serving: the decision stack as a persistent process, plus the
    open-loop replay client that stresses it. See docs/SERVING.md. *)
 
@@ -779,18 +973,29 @@ let run_serve listen_s metrics_listen_s scheduler_name dispatcher_name servers
      Obs.close obs;
      `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
 
-let run_replay_client connect_s file kind profile load gen_servers n seed
-    sigma2 speed json =
+let run_replay_client connect_s file swf time_scale load_factor classes stretch
+    tile max_jobs kind profile load gen_servers n seed sigma2 speed json =
   let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
   let* addr = Daemon.addr_of_string connect_s in
-  let* queries =
-    match file with
-    | Some f -> (
+  let* source =
+    match (swf, file) with
+    | Some _, Some _ -> Error "--swf and --file are mutually exclusive"
+    | Some swf_path, None -> (
+      match synth_config ~time_scale ~load_factor ~classes ~stretch ~seed with
+      | Error e -> Error e
+      | Ok synth ->
+        if tile < 1 then Error "--tile must be >= 1"
+        else
+          Ok
+            (`Stream
+               (fun () ->
+                 Sla_synth.stream synth ~tiles:tile ?max_jobs ~path:swf_path ())))
+    | None, Some f -> (
       match Trace_io.load f with
-      | qs -> Ok qs
+      | qs -> Ok (`Array qs)
       | exception Trace_io.Parse_error e -> Error ("parse error: " ^ e)
       | exception Sys_error e -> Error e)
-    | None -> (
+    | None, None -> (
       match (kind_of_string kind, profile_of_string profile) with
       | Error e, _ | _, Error e -> Error e
       | Ok kind, Ok profile ->
@@ -799,23 +1004,34 @@ let run_replay_client connect_s file kind profile load gen_servers n seed
           else Estimate_error.gaussian ~sigma2 ()
         in
         Ok
-          (Trace.generate
-             (Trace.config ~error ~kind ~profile ~load ~servers:gen_servers
-                ~n_queries:n ~seed ())))
+          (`Array
+             (Trace.generate
+                (Trace.config ~error ~kind ~profile ~load ~servers:gen_servers
+                   ~n_queries:n ~seed ()))))
   in
   let* () = if speed < 0.0 then Error "--speed must be >= 0" else Ok () in
   let framing = if json then Wire.Json else Wire.Binary in
   (try
      let fd = Replay.connect addr in
-     Fmt.pf ppf "replaying %d queries to %a at %s@." (Array.length queries)
-       Daemon.pp_addr addr
-       (if speed = 0.0 then "full speed (unpaced)"
-        else Printf.sprintf "%gx" speed);
+     let pace =
+       if speed = 0.0 then "full speed (unpaced)"
+       else Printf.sprintf "%gx" speed
+     in
+     let on_progress ~sent ~completions =
+       Fmt.pf ppf "  ... %d sent, %d completed@." sent completions
+     in
      let r =
-       Replay.run ~framing ~speed ~client:"slatree-replay"
-         ~on_progress:(fun ~sent ~completions ->
-           Fmt.pf ppf "  ... %d sent, %d completed@." sent completions)
-         ~fd ~queries ()
+       match source with
+       | `Array queries ->
+         Fmt.pf ppf "replaying %d queries to %a at %s@." (Array.length queries)
+           Daemon.pp_addr addr pace;
+         Replay.run ~framing ~speed ~client:"slatree-replay" ~on_progress ~fd
+           ~queries ()
+       | `Stream mk ->
+         Fmt.pf ppf "streaming SWF synthesis to %a at %s@." Daemon.pp_addr addr
+           pace;
+         Replay.run_stream ~framing ~speed ~client:"slatree-replay" ~on_progress
+           ~fd ~queries:(mk ()) ()
      in
      List.iter (fun e -> Fmt.pf ppf "  daemon error: %s@." e) r.Replay.errors;
      Fmt.pf ppf
@@ -834,8 +1050,10 @@ let run_replay_client connect_s file kind profile load gen_servers n seed
          s.Wire.late s.Wire.total_profit s.Wire.avg_loss s.Wire.avg_response;
        `Ok ()
      | None -> `Error (false, "connection closed before the daemon's summary"))
-   with Unix.Unix_error (err, fn, arg) ->
-     `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
+   with
+   | Unix.Unix_error (err, fn, arg) ->
+     `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err))
+   | Swf.Parse_error e | Sys_error e -> `Error (false, e))
 
 let serve_cmd =
   let listen =
@@ -915,6 +1133,15 @@ let replay_cmd =
     Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE"
            ~doc:"Replay this trace file (otherwise generate one)")
   in
+  let swf =
+    Arg.(value & opt (some string) None & info [ "swf" ] ~docv:"FILE"
+           ~doc:
+             "Stream an SWF cluster log through the SLA synthesis instead of \
+              a trace file — constant memory, so archive-scale logs replay \
+              directly (--time-scale/--load-factor/--classes/--stretch/\
+              --tile/--max-jobs/--seed shape the synthesis, as in slatree \
+              workload)")
+  in
   let kind =
     Arg.(value & opt string "exp" & info [ "kind" ] ~docv:"KIND"
            ~doc:"Generated workload: exp | pareto | ssbm")
@@ -959,8 +1186,10 @@ let replay_cmd =
           factor, open-loop")
     Term.(
       ret
-        (const run_replay_client $ connect $ file $ kind $ profile $ load
-       $ gen_servers $ n $ seed $ sigma2 $ speed $ json))
+        (const run_replay_client $ connect $ file $ swf $ time_scale_arg
+       $ load_factor_arg $ classes_spec_arg $ stretch_arg $ tile_arg
+       $ max_jobs_arg $ kind $ profile $ load $ gen_servers $ n $ seed
+       $ sigma2 $ speed $ json))
 
 let main =
   Cmd.group
@@ -968,7 +1197,8 @@ let main =
        ~doc:"SLA-tree: profit-oriented decision support (EDBT 2011 reproduction)")
     [
       table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
-      validate_cmd; trace_cmd; sim_cmd; resilience_cmd; serve_cmd; replay_cmd;
+      validate_cmd; trace_cmd; workload_cmd; sim_cmd; resilience_cmd;
+      serve_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,68 @@
+(** Trace-driven experiments over real workload logs (SWF).
+
+    The table-2-style scheduling x dispatching grid — plus an elastic
+    (autoscaled pool) variant and fault-injected resilience variants —
+    replayed over a Standard Workload Format log through
+    {!Sla_synth}. Every run streams: queries are synthesized on
+    demand and injected into a {!Sim.session} one at a time, so a
+    million-job log (or a fixture tiled to one) flows end-to-end in
+    constant memory.
+
+    Determinism: cells re-stream the file independently and the
+    synthesis is deterministic in (file, flags, seed), so the grid
+    fans out across the ambient {!Parallel} pool with bit-identical
+    results at any [-j N]. *)
+
+type cfg = {
+  path : string;  (** the SWF log *)
+  synth : Sla_synth.config;
+  tiles : int;  (** replay the log this many times end-to-end *)
+  max_jobs : int option;  (** truncate the stream *)
+  servers : int;
+  warmup_frac : float;  (** leading fraction of kept jobs not measured *)
+}
+
+val cfg :
+  ?synth:Sla_synth.config ->
+  ?tiles:int ->
+  ?max_jobs:int ->
+  ?servers:int ->
+  ?warmup_frac:float ->
+  path:string ->
+  unit ->
+  cfg
+
+(** Streaming pre-pass: synthesis statistics (kept/dropped/clamped
+    counts, span, mean size) without retaining any query. Shared by
+    the grid (CBS rate, warm-up size and fault horizon derive from
+    it). *)
+val inspect : cfg -> Sla_synth.stats
+
+type cell = {
+  sched : string;
+  disp : string;
+  avg_loss : float;
+  avg_profit : float;
+  late : float;
+  rejected : int;
+}
+
+type variant_row = {
+  label : string;
+  profit : float;
+  v_avg_loss : float;
+  v_late : float;
+  lost : int;
+  servers_note : string;
+}
+
+(** The scheduling x dispatching grid (12 cells), parallel-safe. *)
+val grid : cfg -> cell list
+
+(** Elastic + resilience variants (autoscaled pool; moderate and
+    severe fault storms on a static pool), parallel-safe. *)
+val variants : cfg -> variant_row list
+
+(** Full report: pre-pass summary, the grid, the variants. Output
+    contains no wall-clock times — it is byte-identical across [-j]. *)
+val run : ?variants:bool -> Format.formatter -> cfg -> unit

@@ -37,7 +37,7 @@ type acc = {
   mutable closed : bool;  (** daemon hung up *)
 }
 
-let run ?(framing = Wire.Binary) ?(speed = 1.0) ?client ?on_progress ~fd
+let run_stream ?(framing = Wire.Binary) ?(speed = 1.0) ?client ?on_progress ~fd
     ~queries () =
   if not (Float.is_finite speed && speed >= 0.0) then
     invalid_arg "Replay.run: speed must be >= 0";
@@ -127,7 +127,7 @@ let run ?(framing = Wire.Binary) ?(speed = 1.0) ?client ?on_progress ~fd
       f ~sent:!sent ~completions:a.completions
     | _ -> ()
   in
-  Array.iter
+  Seq.iter
     (fun q ->
       if not a.closed then begin
         (* Open loop: wait out the trace's inter-arrival gap at the
@@ -171,3 +171,7 @@ let run ?(framing = Wire.Binary) ?(speed = 1.0) ?client ?on_progress ~fd
     summary = a.summary;
     errors = List.rev a.errors;
   }
+
+let run ?framing ?speed ?client ?on_progress ~fd ~queries () =
+  run_stream ?framing ?speed ?client ?on_progress ~fd
+    ~queries:(Array.to_seq queries) ()

@@ -39,3 +39,17 @@ val run :
   queries:Query.t array ->
   unit ->
   report
+
+(** {!run} over a pull sequence: queries are produced as they are
+    submitted (arrival order still assumed), so a streaming source —
+    e.g. SLA synthesis over a large SWF log — replays in constant
+    memory. The sequence is consumed exactly once. *)
+val run_stream :
+  ?framing:Wire.framing ->
+  ?speed:float ->
+  ?client:string ->
+  ?on_progress:(sent:int -> completions:int -> unit) ->
+  fd:Unix.file_descr ->
+  queries:Query.t Seq.t ->
+  unit ->
+  report

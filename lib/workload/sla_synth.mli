@@ -1,0 +1,122 @@
+(** SLA synthesis over real traces: map SWF jobs to {!Query.t}.
+
+    The paper's evaluation draws sizes and SLAs from synthetic
+    generators; a real cluster log supplies arrival burstiness, a
+    heavy-tailed run-time distribution and — through the user's
+    requested time — {e real} estimation error, replacing
+    [Estimate_error.gaussian]. The mapping, per kept job:
+
+    - [arrival  = (submit - t0) * time_scale / load_factor]
+    - [size     = run_time * time_scale] (the actual execution time)
+    - [est_size = req_time * time_scale] when the user supplied a
+      request, else [size] (no estimate → assume perfect)
+    - SLA: the query's class (a seeded weighted draw, keyed on the
+      query index so it is independent of chunking) supplies a tiered
+      step function whose response bounds are
+      [stretch_k * est_size] — i.e. deadline_k = arrival +
+      stretch_k × requested-time — with the class's gains and
+      penalty.
+
+    [time_scale] only changes the unit (both inter-arrivals and sizes
+    scale together, so utilization is invariant); [load_factor]
+    compresses arrivals alone, so one trace yields a whole load
+    sweep. Both re-timescalings are deterministic: the same file,
+    flags and seed produce bit-identical queries. *)
+
+(** One SLA class: [gains] holds one (strictly decreasing, positive)
+    gain per stretch tier; a query missing every tier pays
+    [penalty]. *)
+type sla_class = {
+  cls_name : string;
+  weight : int;  (** relative draw frequency *)
+  gains : float array;
+  penalty : float;
+}
+
+type config = {
+  classes : sla_class array;
+  stretches : float array;
+      (** deadline multipliers on the estimate, strictly increasing,
+          same length as every class's [gains] *)
+  time_scale : float;  (** virtual ms per SWF second *)
+  load_factor : float;  (** arrival compression (>1 = heavier load) *)
+  seed : int;
+}
+
+(** Default tiers: gold (1x) / silver (3x) / bronze (6x) classes over
+    stretches [1; 3] — see DESIGN.md "SLA synthesis". *)
+val default_classes : sla_class array
+
+val default_stretches : float array
+
+val config :
+  ?classes:sla_class array ->
+  ?stretches:float array ->
+  ?time_scale:float ->
+  ?load_factor:float ->
+  ?seed:int ->
+  unit ->
+  config
+
+(** Parse a class-set spec: semicolon-separated
+    [name:weight:g1,g2,...:penalty] entries, e.g.
+    ["gold:1:5,2:5;silver:3:2,1:1;bronze:6:1,0.5:0"]. *)
+val classes_of_string : string -> (sla_class array, string) result
+
+val classes_doc : string
+
+(** Per-pass accounting: how many jobs the synthesis kept, dropped
+    (no positive run time / negative submit) and clamped (submit time
+    earlier than its predecessor — arrival forced monotone). *)
+type stats = {
+  mutable read : int;
+  mutable kept : int;
+  mutable dropped : int;
+  mutable clamped : int;
+  mutable no_estimate : int;  (** kept jobs without a requested time *)
+  mutable span_ms : float;  (** last kept arrival *)
+  mutable work_ms : float;  (** total actual size *)
+  mutable est_work_ms : float;  (** total estimated size *)
+  mutable max_size_ms : float;
+}
+
+val stats_create : unit -> stats
+
+(** Mean actual size of the kept jobs ([nan] when none kept). *)
+val mean_size : stats -> float
+
+(** Utilization [work / (span * servers)] this trace implies. *)
+val implied_load : stats -> servers:int -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [queries_of_jobs cfg jobs] — the eager mapping (tests, convert of
+    modest files). Query ids are assigned sequentially from 0. *)
+val queries_of_jobs : config -> ?stats:stats -> Swf.job array -> Query.t array
+
+(** [stream cfg ~path ()] — the streaming mapping: opens [path]
+    [tiles] times in turn (default 1), each pass offset so the trace
+    repeats seamlessly after the previous pass's span, and yields
+    queries on demand in constant memory. [max_jobs] truncates the
+    stream. [stats], when given, is updated as the sequence is
+    consumed. The sequence is ephemeral (it owns a file handle per
+    pass); consume it once, to exhaustion. *)
+val stream :
+  config ->
+  ?tiles:int ->
+  ?max_jobs:int ->
+  ?stats:stats ->
+  path:string ->
+  unit ->
+  Query.t Seq.t
+
+(** [to_queries cfg ~path ()] materializes {!stream} (replay, convert
+    of small files). *)
+val to_queries :
+  config ->
+  ?tiles:int ->
+  ?max_jobs:int ->
+  ?stats:stats ->
+  path:string ->
+  unit ->
+  Query.t array

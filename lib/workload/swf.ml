@@ -1,0 +1,259 @@
+(* Streaming Standard Workload Format reader/writer. See swf.mli for
+   the format summary; the authoritative description is Feitelson's
+   "Standard Workload Format" page of the Parallel Workloads Archive.
+
+   Design constraints: archive logs run to millions of lines, so the
+   reader holds one line at a time (plus the header block, which is
+   small); every parse failure reports [file:line:] so a broken log
+   pinpoints itself. *)
+
+type job = {
+  job_id : int;
+  submit : float;
+  wait : float;
+  run_time : float;
+  procs : int;
+  cpu_time : float;
+  memory : float;
+  req_procs : int;
+  req_time : float;
+  req_memory : float;
+  status : int;
+  user : int;
+  group : int;
+  app : int;
+  queue : int;
+  partition : int;
+  preceding : int;
+  think_time : float;
+}
+
+exception Parse_error of string
+
+type reader = {
+  rpath : string;
+  ic : in_channel;
+  mutable lineno : int;
+  mutable pending : string option;
+      (** one line of pushback: the first data line, read while
+          consuming the header block *)
+  mutable meta : (string * string) list;
+  mutable closed : bool;
+}
+
+let parse_error r fmt =
+  Fmt.kstr
+    (fun s ->
+      raise (Parse_error (Printf.sprintf "%s:%d: %s" r.rpath r.lineno s)))
+    fmt
+
+let is_comment line = String.length line > 0 && line.[0] = ';'
+
+(* "; MaxJobs: 73496" -> ("MaxJobs", "73496"); comments without a
+   colon keep their text under the empty key. *)
+let meta_of_comment line =
+  let body = String.trim (String.sub line 1 (String.length line - 1)) in
+  match String.index_opt body ':' with
+  | Some i ->
+    ( String.trim (String.sub body 0 i),
+      String.trim (String.sub body (i + 1) (String.length body - i - 1)) )
+  | None -> ("", body)
+
+let input_line_opt r =
+  match input_line r.ic with
+  | line ->
+    r.lineno <- r.lineno + 1;
+    Some line
+  | exception End_of_file -> None
+
+(* Eagerly consume the leading comment block so [metadata] is
+   available right after opening; the first non-comment line is kept
+   as pushback for [next]. *)
+let open_file rpath =
+  let ic = open_in rpath in
+  let r = { rpath; ic; lineno = 0; pending = None; meta = []; closed = false } in
+  let rec header acc =
+    match input_line_opt r with
+    | None -> acc
+    | Some line ->
+      if is_comment line then header (meta_of_comment line :: acc)
+      else begin
+        r.pending <- Some line;
+        acc
+      end
+  in
+  r.meta <- List.rev (header []);
+  r
+
+let close r =
+  if not r.closed then begin
+    r.closed <- true;
+    close_in r.ic
+  end
+
+let with_file path f =
+  let r = open_file path in
+  Fun.protect ~finally:(fun () -> close r) (fun () -> f r)
+
+let path r = r.rpath
+let metadata r = r.meta
+
+let find_meta r key =
+  let key = String.lowercase_ascii key in
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = key then Some v else None)
+    r.meta
+
+(* Fields are separated by runs of spaces/tabs (and a stray '\r' on
+   CRLF logs). *)
+let split_fields line =
+  let n = String.length line in
+  let is_sep c = c = ' ' || c = '\t' || c = '\r' in
+  let fields = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_sep line.[!i] do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && not (is_sep line.[!i]) do
+        incr i
+      done;
+      fields := String.sub line start (!i - start) :: !fields
+    end
+  done;
+  List.rev !fields
+
+let float_field r name s =
+  match float_of_string_opt s with
+  | Some v when Float.is_nan v -> parse_error r "field %s is NaN" name
+  | Some v -> v
+  | None -> parse_error r "field %s: %S is not a number" name s
+
+(* Integral fields occasionally appear as "12.0" in archive logs;
+   accept any finite numeric and truncate. *)
+let int_field r name s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> (
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> Float.to_int v
+    | Some _ | None -> parse_error r "field %s: %S is not a number" name s)
+
+let n_fields = 18
+
+let job_of_fields r fields =
+  let a = Array.make n_fields "-1" in
+  List.iteri (fun i f -> if i < n_fields then a.(i) <- f) fields;
+  {
+    job_id = int_field r "job_id" a.(0);
+    submit = float_field r "submit" a.(1);
+    wait = float_field r "wait" a.(2);
+    run_time = float_field r "run_time" a.(3);
+    procs = int_field r "procs" a.(4);
+    cpu_time = float_field r "cpu_time" a.(5);
+    memory = float_field r "memory" a.(6);
+    req_procs = int_field r "req_procs" a.(7);
+    req_time = float_field r "req_time" a.(8);
+    req_memory = float_field r "req_memory" a.(9);
+    status = int_field r "status" a.(10);
+    user = int_field r "user" a.(11);
+    group = int_field r "group" a.(12);
+    app = int_field r "app" a.(13);
+    queue = int_field r "queue" a.(14);
+    partition = int_field r "partition" a.(15);
+    preceding = int_field r "preceding" a.(16);
+    think_time = float_field r "think_time" a.(17);
+  }
+
+let rec next r =
+  let line =
+    match r.pending with
+    | Some line ->
+      r.pending <- None;
+      Some line
+    | None -> if r.closed then None else input_line_opt r
+  in
+  match line with
+  | None -> None
+  | Some line ->
+    if is_comment line then next r (* mid-file comment *)
+    else begin
+      match split_fields line with
+      | [] -> next r (* blank line *)
+      | fields ->
+        let k = List.length fields in
+        if k < 4 then
+          parse_error r "expected at least 4 of the %d SWF fields, got %d in %S"
+            n_fields k line
+        else if k > n_fields then
+          parse_error r "expected at most %d SWF fields, got %d in %S" n_fields
+            k line
+        else Some (job_of_fields r fields)
+    end
+
+let read_chunk r ~max =
+  if max <= 0 then invalid_arg "Swf.read_chunk: max must be positive";
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else match next r with None -> List.rev acc | Some j -> go (j :: acc) (k - 1)
+  in
+  Array.of_list (go [] max)
+
+let to_seq r =
+  let rec seq () =
+    match next r with None -> Seq.Nil | Some j -> Seq.Cons (j, seq)
+  in
+  seq
+
+let fold path ~init ~f =
+  with_file path (fun r ->
+      let rec go acc = match next r with None -> acc | Some j -> go (f acc j) in
+      go init)
+
+(* ------------------------------------------------------------------ *)
+(* Writing *)
+
+(* %.17g everywhere would round-trip but makes fixture lines
+   unreadable; archive values are integral or short decimals, so
+   integers print without a point and everything else with enough
+   digits to round-trip. *)
+let field_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let line_of_job j =
+  String.concat " "
+    [
+      string_of_int j.job_id;
+      field_str j.submit;
+      field_str j.wait;
+      field_str j.run_time;
+      string_of_int j.procs;
+      field_str j.cpu_time;
+      field_str j.memory;
+      string_of_int j.req_procs;
+      field_str j.req_time;
+      field_str j.req_memory;
+      string_of_int j.status;
+      string_of_int j.user;
+      string_of_int j.group;
+      string_of_int j.app;
+      string_of_int j.queue;
+      string_of_int j.partition;
+      string_of_int j.preceding;
+      field_str j.think_time;
+    ]
+
+let save path ?(header = []) jobs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun h -> Printf.fprintf oc "; %s\n" h) header;
+      Array.iter
+        (fun j ->
+          output_string oc (line_of_job j);
+          output_char oc '\n')
+        jobs)

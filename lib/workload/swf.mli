@@ -1,0 +1,94 @@
+(** Streaming reader/writer for the Standard Workload Format (SWF) of
+    the Parallel Workloads Archive — the format of the public logs of
+    real parallel clusters (Feitelson et al.,
+    https://www.cs.huji.ac.il/labs/parallel/workload/).
+
+    An SWF file is a sequence of header comment lines ([; Key: value])
+    followed by one job per line: 18 whitespace-separated numeric
+    fields, with [-1] marking a missing value. Real archive logs run
+    to millions of jobs, so the reader never materializes a file: it
+    exposes a pull iterator ({!next} / {!to_seq}) and a bounded-chunk
+    reader ({!read_chunk}), both O(1) in the file length. *)
+
+(** One job record — the 18 standard fields. Times are in seconds (as
+    in the file); [-1.0] / [-1] mark missing values, as in the
+    format. *)
+type job = {
+  job_id : int;  (** 1: job number *)
+  submit : float;  (** 2: submit time, seconds since log start *)
+  wait : float;  (** 3: wait time, seconds *)
+  run_time : float;  (** 4: run time, seconds *)
+  procs : int;  (** 5: number of allocated processors *)
+  cpu_time : float;  (** 6: average CPU time used, seconds *)
+  memory : float;  (** 7: used memory, KB per processor *)
+  req_procs : int;  (** 8: requested number of processors *)
+  req_time : float;  (** 9: requested (user-estimated) time, seconds *)
+  req_memory : float;  (** 10: requested memory, KB per processor *)
+  status : int;  (** 11: completion status (1 = completed) *)
+  user : int;  (** 12: user id *)
+  group : int;  (** 13: group id *)
+  app : int;  (** 14: executable (application) number *)
+  queue : int;  (** 15: queue number *)
+  partition : int;  (** 16: partition number *)
+  preceding : int;  (** 17: preceding job number *)
+  think_time : float;  (** 18: think time from preceding job, seconds *)
+}
+
+(** Raised on a malformed line; the message carries [file:line:]. *)
+exception Parse_error of string
+
+type reader
+
+(** [open_file path] opens the log and eagerly consumes the leading
+    header-comment block (available as {!metadata}); jobs then stream
+    on demand. Raises [Sys_error] if the file cannot be opened. *)
+val open_file : string -> reader
+
+val close : reader -> unit
+
+(** [with_file path f] is [f (open_file path)] with a guaranteed
+    close. *)
+val with_file : string -> (reader -> 'a) -> 'a
+
+val path : reader -> string
+
+(** Header metadata, in file order: [; Key: value] comment lines
+    parsed into [(key, value)]; bare comments appear as [("", text)]. *)
+val metadata : reader -> (string * string) list
+
+(** [find_meta r key] is the value of the first header field whose key
+    matches [key] case-insensitively. *)
+val find_meta : reader -> string -> string option
+
+(** Next job, skipping blank and mid-file comment lines. [None] at end
+    of file. Lines with fewer than 18 fields are padded with missing
+    markers (some archive tools truncate trailing [-1]s); at least the
+    first four fields (job, submit, wait, run time) must be present.
+    Raises {!Parse_error} (with [file:line:]) on anything
+    non-numeric. *)
+val next : reader -> job option
+
+(** Up to [max] further jobs (fewer only at end of file) — the bounded
+    chunk shape: a million-job log streams through a [max]-sized
+    buffer in constant memory. Raises [Invalid_argument] if
+    [max <= 0]. *)
+val read_chunk : reader -> max:int -> job array
+
+(** The remaining jobs as an on-demand sequence. The sequence is
+    ephemeral: it pulls from the reader, so consume it once. *)
+val to_seq : reader -> job Seq.t
+
+(** [fold path ~init ~f] streams the whole file through [f] with a
+    guaranteed close. *)
+val fold : string -> init:'a -> f:('a -> job -> 'a) -> 'a
+
+(** {2 Writing} — round-trip support for tests, fixtures and bench. *)
+
+(** The job as one SWF data line (no newline). Integral values print
+    without a fractional part, so a parse/print round trip of an
+    archive line is stable. *)
+val line_of_job : job -> string
+
+(** [save path ~header jobs] writes header comment lines (without the
+    leading [";"]) and one line per job. *)
+val save : string -> ?header:string list -> job array -> unit

@@ -5,7 +5,12 @@
 
    Format (one query per line, after a version header):
      id,arrival,size,est_size,penalty,b1:g1|b2:g2|...
-   Floats are printed with %.17g so round-trips are exact. *)
+   Floats are printed with %.17g so round-trips are exact.
+
+   Loading validates: every numeric field must be finite, times must
+   be non-negative, and arrivals must be non-decreasing (the simulator
+   replays the array in order and silently mis-schedules otherwise).
+   Violations raise [Parse_error] carrying [file:line:]. *)
 
 let header = "# slatree-trace v1"
 
@@ -28,8 +33,14 @@ let string_of_query q =
 
 let float_of_field name s =
   match float_of_string_opt s with
+  | Some v when not (Float.is_finite v) -> parse_error "%s is not finite: %S" name s
   | Some v -> v
   | None -> parse_error "bad %s: %S" name s
+
+let nonneg_of_field name s =
+  let v = float_of_field name s in
+  if v < 0.0 then parse_error "%s is negative: %S" name s;
+  v
 
 let sla_of_strings ~penalty ~levels_str =
   let levels =
@@ -57,11 +68,13 @@ let query_of_string line =
       try sla_of_strings ~penalty:(float_of_field "penalty" penalty) ~levels_str
       with Sla.Invalid msg -> parse_error "invalid SLA: %s" msg
     in
-    Query.make ~id
-      ~arrival:(float_of_field "arrival" arrival)
-      ~size:(float_of_field "size" size)
-      ~est_size:(float_of_field "est_size" est_size)
-      ~sla ()
+    (try
+       Query.make ~id
+         ~arrival:(nonneg_of_field "arrival" arrival)
+         ~size:(nonneg_of_field "size" size)
+         ~est_size:(nonneg_of_field "est_size" est_size)
+         ~sla ()
+     with Invalid_argument msg -> parse_error "invalid query: %s" msg)
   | _ -> parse_error "bad query line: %S" line
 
 let save path queries =
@@ -77,17 +90,53 @@ let save path queries =
           output_char oc '\n')
         queries)
 
+let save_seq path queries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      output_char oc '\n';
+      let count = ref 0 in
+      Seq.iter
+        (fun q ->
+          output_string oc (string_of_query q);
+          output_char oc '\n';
+          incr count)
+        queries;
+      !count)
+
 let load path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let first = try input_line ic with End_of_file -> parse_error "empty file" in
-      if first <> header then parse_error "missing header (got %S)" first;
-      let rec go acc =
+      let lineno = ref 0 in
+      let at fmt = parse_error ("%s:%d: " ^^ fmt) path !lineno in
+      let input_line_opt () =
         match input_line ic with
-        | line when String.trim line = "" -> go acc
-        | line -> go (query_of_string line :: acc)
-        | exception End_of_file -> List.rev acc
+        | line ->
+          incr lineno;
+          Some line
+        | exception End_of_file -> None
       in
-      Array.of_list (go []))
+      (match input_line_opt () with
+      | None -> parse_error "%s: empty file" path
+      | Some first when first <> header ->
+        at "missing header (got %S)" first
+      | Some _ -> ());
+      let rec go acc last_arrival =
+        match input_line_opt () with
+        | None -> List.rev acc
+        | Some line when String.trim line = "" -> go acc last_arrival
+        | Some line ->
+          let q =
+            try query_of_string line
+            with Parse_error msg -> at "%s" msg
+          in
+          if q.Query.arrival < last_arrival then
+            at "arrival %.17g goes backwards (previous %.17g)" q.Query.arrival
+              last_arrival;
+          go (q :: acc) q.Query.arrival
+      in
+      Array.of_list (go [] 0.0))

@@ -1,5 +1,10 @@
 (** Save/replay traces as a line-oriented text format with exact float
-    round-trips. *)
+    round-trips.
+
+    {!load} validates as it parses: malformed records, non-finite or
+    negative times and arrival times that go backwards all raise
+    {!Parse_error} with a [file:line:] position — a broken trace file
+    fails loudly instead of silently producing a broken run. *)
 
 exception Parse_error of string
 
@@ -9,6 +14,11 @@ val string_of_query : Query.t -> string
 val query_of_string : string -> Query.t
 
 val save : string -> Query.t array -> unit
+
+(** Streaming save: writes the sequence one query at a time (constant
+    memory — the convert path for million-job traces) and returns the
+    number written. *)
+val save_seq : string -> Query.t Seq.t -> int
 
 (** Raises {!Parse_error} on malformed input. *)
 val load : string -> Query.t array

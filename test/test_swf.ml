@@ -1,0 +1,431 @@
+(* Tests for the real-trace workload subsystem: the streaming SWF
+   reader/writer and the SLA synthesis layer, against the committed
+   fixture (test/data/pwa_excerpt.swf) and generated inputs. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let qtest = QCheck_alcotest.to_alcotest
+let fixture = Filename.concat "data" "pwa_excerpt.swf"
+
+let write_tmp lines =
+  let path = Filename.temp_file "slatree" ".swf" in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  path
+
+let with_tmp lines f =
+  let path = write_tmp lines in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_all path = List.rev (Swf.fold path ~init:[] ~f:(fun acc j -> j :: acc))
+
+(* ------------------------------------------------------------------ *)
+(* SWF reader *)
+
+let test_fixture_parses () =
+  let jobs = read_all fixture in
+  check_int "job count" 2500 (List.length jobs);
+  let first = List.hd jobs in
+  check_int "ids start at 1" 1 first.Swf.job_id;
+  List.iter
+    (fun j ->
+      check_bool "submit present" true (Float.is_finite j.Swf.submit);
+      check_bool "submit nonneg" true (j.Swf.submit >= 0.0))
+    jobs
+
+let test_fixture_metadata () =
+  Swf.with_file fixture (fun r ->
+      check_bool "header parsed" true (List.length (Swf.metadata r) > 5);
+      check_string "MaxJobs" "2500" (Option.get (Swf.find_meta r "MaxJobs"));
+      (* case-insensitive *)
+      check_string "maxjobs" "2500" (Option.get (Swf.find_meta r "maxjobs"));
+      check_bool "absent key" true (Swf.find_meta r "NoSuchKey" = None))
+
+let test_missing_fields_padded () =
+  (* Archive tools truncate trailing -1 fields; 4 fields is the legal
+     minimum. *)
+  with_tmp [ "; Computer: pad test"; "1 10 5 60" ] (fun path ->
+      match read_all path with
+      | [ j ] ->
+        check_int "job id" 1 j.Swf.job_id;
+        check_float "submit" 10.0 j.Swf.submit;
+        check_float "run time" 60.0 j.Swf.run_time;
+        check_int "procs padded" (-1) j.Swf.procs;
+        check_float "req_time padded" (-1.0) j.Swf.req_time;
+        check_int "think padded" (-1) (Float.to_int j.Swf.think_time)
+      | l -> Alcotest.failf "expected 1 job, got %d" (List.length l))
+
+let test_mid_file_comments_and_blanks () =
+  with_tmp
+    [ "; h: 1"; "1 0 0 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1"; "";
+      "; a mid-file comment"; "2 5 0 10 1 -1 -1 1 20 -1 1 1 1 1 1 1 -1 -1" ]
+    (fun path -> check_int "two jobs" 2 (List.length (read_all path)))
+
+let raises_parse f =
+  match f () with exception Swf.Parse_error _ -> true | _ -> false
+
+let test_rejects_malformed () =
+  check_bool "too few fields" true
+    (raises_parse (fun () ->
+         with_tmp [ "1 2 3" ] (fun p -> read_all p)));
+  check_bool "too many fields" true
+    (raises_parse (fun () ->
+         with_tmp
+           [ "1 0 0 1 1 1 1 1 1 1 1 1 1 1 1 1 1 1 99" ]
+           (fun p -> read_all p)));
+  check_bool "non-numeric" true
+    (raises_parse (fun () ->
+         with_tmp [ "1 zero 0 10" ] (fun p -> read_all p)));
+  check_bool "NaN rejected" true
+    (raises_parse (fun () ->
+         with_tmp [ "1 nan 0 10" ] (fun p -> read_all p)))
+
+let test_error_carries_position () =
+  with_tmp [ "; header"; "1 0 0 10"; "2 bogus 0 10" ] (fun path ->
+      match read_all path with
+      | _ -> Alcotest.fail "expected Parse_error"
+      | exception Swf.Parse_error msg ->
+        check_bool "names file" true
+          (String.length msg >= String.length path
+          && String.sub msg 0 (String.length path) = path);
+        check_bool "names line 3" true
+          (String.length msg > String.length path + 2
+          && msg.[String.length path + 1] = '3'))
+
+let test_chunked_equals_pull () =
+  let pulled = read_all fixture in
+  let chunked =
+    Swf.with_file fixture (fun r ->
+        let rec go acc =
+          match Swf.read_chunk r ~max:97 with
+          | [||] -> List.concat (List.rev acc)
+          | c -> go (Array.to_list c :: acc)
+        in
+        go [])
+  in
+  check_int "same count" (List.length pulled) (List.length chunked);
+  List.iter2
+    (fun a b -> check_bool "same job" true (a = b))
+    pulled chunked
+
+let job_gen =
+  let open QCheck.Gen in
+  (* Times carry millisecond-ish fractions so the %.17g path is
+     exercised; -1 marks a missing value, as in the format. *)
+  let time =
+    oneof
+      [
+        return (-1.0);
+        map (fun f -> Float.round (f *. 1000.0) /. 1000.0)
+          (float_bound_exclusive 100000.0);
+      ]
+  in
+  let count = oneof [ return (-1); int_range 1 4096 ] in
+  map
+    (fun (((job_id, submit, wait, run_time),
+           (procs, cpu_time, memory, req_procs),
+           (req_time, req_memory, status, user)),
+          ((group, app, queue, partition), (preceding, think_time))) ->
+      {
+        Swf.job_id; submit; wait; run_time; procs; cpu_time; memory;
+        req_procs; req_time; req_memory; status; user; group; app; queue;
+        partition; preceding; think_time;
+      })
+    (pair
+       (triple
+          (quad (int_range 1 1_000_000) time time time)
+          (quad count time time count)
+          (quad time time (int_range (-1) 5) count))
+       (pair (quad count count count count) (pair count time)))
+
+let prop_line_roundtrip =
+  QCheck.Test.make ~name:"SWF line round-trips through print/parse" ~count:200
+    (QCheck.make job_gen) (fun j ->
+      with_tmp [ Swf.line_of_job j ] (fun path ->
+          match read_all path with [ j' ] -> j = j' | _ -> false))
+
+let test_save_roundtrip () =
+  let jobs = Array.of_list (read_all fixture) in
+  let path = Filename.temp_file "slatree" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Swf.save path ~header:[ "Computer: copy"; "MaxJobs: 2500" ] jobs;
+      let back = Array.of_list (read_all path) in
+      check_int "count" (Array.length jobs) (Array.length back);
+      check_bool "all equal" true (jobs = back);
+      Swf.with_file path (fun r ->
+          check_string "header written" "copy"
+            (Option.get (Swf.find_meta r "Computer"))))
+
+(* ------------------------------------------------------------------ *)
+(* SLA synthesis *)
+
+let default_cfg ?(time_scale = 10.0) ?(load_factor = 1.0) ?(seed = 1) () =
+  Sla_synth.config ~time_scale ~load_factor ~seed ()
+
+let queries ?cfg ?tiles ?max_jobs ?stats () =
+  Sla_synth.to_queries
+    (match cfg with Some c -> c | None -> default_cfg ())
+    ?tiles ?max_jobs ?stats ~path:fixture ()
+
+let test_streaming_equals_eager () =
+  let cfg = default_cfg () in
+  let eager =
+    Sla_synth.queries_of_jobs cfg (Array.of_list (read_all fixture))
+  in
+  let streamed = queries ~cfg () in
+  check_int "count" (Array.length eager) (Array.length streamed);
+  Array.iteri
+    (fun i q ->
+      let s = streamed.(i) in
+      check_int "id" q.Query.id s.Query.id;
+      check_float "arrival" q.Query.arrival s.Query.arrival;
+      check_float "size" q.Query.size s.Query.size;
+      check_float "est" q.Query.est_size s.Query.est_size;
+      check_bool "sla" true (Sla.equal q.Query.sla s.Query.sla))
+    eager
+
+let test_synthesis_deterministic () =
+  let a = queries () and b = queries () in
+  check_bool "bit-identical" true (a = b)
+
+let test_well_formed () =
+  let stats = Sla_synth.stats_create () in
+  let qs = queries ~stats () in
+  check_int "kept matches stats" stats.Sla_synth.kept (Array.length qs);
+  check_int "read all" 2500 stats.Sla_synth.read;
+  check_int "read = kept + dropped" stats.Sla_synth.read
+    (stats.Sla_synth.kept + stats.Sla_synth.dropped);
+  check_bool "some jobs lack estimates" true (stats.Sla_synth.no_estimate > 0);
+  let last = ref (-1.0) in
+  Array.iteri
+    (fun i q ->
+      check_int "sequential ids" i q.Query.id;
+      check_bool "monotone arrivals" true (q.Query.arrival >= !last);
+      last := q.Query.arrival;
+      check_bool "positive size" true (q.Query.size > 0.0);
+      check_bool "positive est" true (q.Query.est_size > 0.0))
+    qs
+
+let test_missing_estimate_means_perfect () =
+  (* A job without a requested time gets est_size = size; one with a
+     request gets est = req_time * time_scale. *)
+  with_tmp
+    [ "1 0 0 60 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1";
+      "2 10 0 60 1 -1 -1 1 300 -1 1 1 1 1 1 1 -1 -1" ]
+    (fun path ->
+      let cfg = default_cfg () in
+      let qs = Sla_synth.to_queries cfg ~path () in
+      check_int "both kept" 2 (Array.length qs);
+      check_float "no estimate -> perfect" qs.(0).Query.size
+        qs.(0).Query.est_size;
+      check_float "estimate scaled" 3000.0 qs.(1).Query.est_size;
+      check_float "size scaled" 600.0 qs.(1).Query.size)
+
+let test_drops_and_clamps () =
+  with_tmp
+    [ "1 10 0 60 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1";
+      "2 20 0 -1 1 -1 -1 1 -1 -1 5 1 1 1 1 1 -1 -1";  (* cancelled *)
+      "3 5 0 60 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1";   (* submit earlier *)
+      "4 -3 0 60 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1" ] (* negative submit *)
+    (fun path ->
+      let stats = Sla_synth.stats_create () in
+      let qs = Sla_synth.to_queries (default_cfg ()) ~stats ~path () in
+      check_int "kept" 2 (Array.length qs);
+      check_int "dropped" 2 stats.Sla_synth.dropped;
+      check_int "clamped" 1 stats.Sla_synth.clamped;
+      check_float "clamped to previous arrival" qs.(0).Query.arrival
+        qs.(1).Query.arrival)
+
+let test_time_scale_is_unit_change () =
+  let base = queries ~cfg:(default_cfg ~time_scale:1.0 ()) () in
+  let scaled = queries ~cfg:(default_cfg ~time_scale:3.0 ()) () in
+  check_int "same count" (Array.length base) (Array.length scaled);
+  Array.iteri
+    (fun i q ->
+      check_float "arrival x3" (3.0 *. q.Query.arrival)
+        scaled.(i).Query.arrival;
+      check_float "size x3" (3.0 *. q.Query.size) scaled.(i).Query.size;
+      check_float "est x3" (3.0 *. q.Query.est_size) scaled.(i).Query.est_size)
+    base
+
+let test_load_factor_compresses_arrivals_only () =
+  let base = queries ~cfg:(default_cfg ~load_factor:1.0 ()) () in
+  let heavy = queries ~cfg:(default_cfg ~load_factor:2.0 ()) () in
+  check_int "same count" (Array.length base) (Array.length heavy);
+  Array.iteri
+    (fun i q ->
+      check_float "arrival halved" (q.Query.arrival /. 2.0)
+        heavy.(i).Query.arrival;
+      check_float "size unchanged" q.Query.size heavy.(i).Query.size;
+      check_bool "sla unchanged" true
+        (Sla.equal q.Query.sla heavy.(i).Query.sla))
+    base
+
+let test_class_draw_independent_of_seed_only () =
+  (* Different seeds permute classes; same seed never does. *)
+  let a = queries ~cfg:(default_cfg ~seed:1 ()) () in
+  let b = queries ~cfg:(default_cfg ~seed:2 ()) () in
+  check_bool "seed changes some SLA" true
+    (Array.exists2 (fun x y -> not (Sla.equal x.Query.sla y.Query.sla)) a b);
+  check_bool "arrivals unchanged by seed" true
+    (Array.for_all2 (fun x y -> x.Query.arrival = y.Query.arrival) a b)
+
+let test_tiling () =
+  let stats = Sla_synth.stats_create () in
+  let one = queries () in
+  let two = queries ~tiles:2 ~stats () in
+  let n = Array.length one in
+  check_int "twice the queries" (2 * n) (Array.length two);
+  check_int "stats cover both passes" (2 * 2500) stats.Sla_synth.read;
+  (* First pass is bit-identical to the untiled stream. *)
+  for i = 0 to n - 1 do
+    check_float "first pass arrival" one.(i).Query.arrival
+      two.(i).Query.arrival;
+    check_float "first pass size" one.(i).Query.size two.(i).Query.size
+  done;
+  (* The seam stays monotone and the second pass repeats the shape. *)
+  check_bool "seam monotone" true
+    (two.(n).Query.arrival >= two.(n - 1).Query.arrival);
+  check_float "second pass size repeats" one.(5).Query.size
+    two.(n + 5).Query.size
+
+let test_max_jobs_truncates () =
+  let qs = queries ~max_jobs:100 () in
+  check_int "truncated" 100 (Array.length qs);
+  let full = queries () in
+  for i = 0 to 99 do
+    check_float "prefix identical" full.(i).Query.arrival qs.(i).Query.arrival
+  done
+
+let test_classes_of_string () =
+  (match Sla_synth.classes_of_string "gold:1:5,2:5;silver:3:2,1:1" with
+  | Error e -> Alcotest.fail e
+  | Ok cs ->
+    check_int "two classes" 2 (Array.length cs);
+    check_string "name" "gold" cs.(0).Sla_synth.cls_name;
+    check_int "weight" 3 cs.(1).Sla_synth.weight;
+    check_float "gain" 2.0 cs.(0).Sla_synth.gains.(1);
+    check_float "penalty" 1.0 cs.(1).Sla_synth.penalty);
+  let bad s =
+    match Sla_synth.classes_of_string s with Error _ -> true | Ok _ -> false
+  in
+  check_bool "empty" true (bad "");
+  check_bool "missing parts" true (bad "gold:1:5");
+  check_bool "bad weight" true (bad "gold:x:5,2:5");
+  check_bool "bad gain" true (bad "gold:1:5,huh:5")
+
+let test_invalid_configs () =
+  let invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check_bool "stretches must increase" true
+    (invalid (fun () -> Sla_synth.config ~stretches:[| 3.0; 1.0 |] ()));
+  check_bool "gains per tier" true
+    (invalid (fun () ->
+         Sla_synth.config
+           ~classes:
+             [|
+               { Sla_synth.cls_name = "x"; weight = 1; gains = [| 1.0 |];
+                 penalty = 0.0 };
+             |]
+           ()));
+  check_bool "positive time scale" true
+    (invalid (fun () -> Sla_synth.config ~time_scale:0.0 ()));
+  check_bool "positive load factor" true
+    (invalid (fun () -> Sla_synth.config ~load_factor:(-1.0) ()))
+
+(* ------------------------------------------------------------------ *)
+(* The trace-driven experiment *)
+
+let smoke_cfg () =
+  Exp_trace.cfg ~synth:(default_cfg ()) ~max_jobs:400 ~servers:4
+    ~warmup_frac:0.1 ~path:fixture ()
+
+let test_exp_trace_grid_smoke () =
+  let cells = Exp_trace.grid (smoke_cfg ()) in
+  check_int "12 cells" 12 (List.length cells);
+  List.iter
+    (fun c ->
+      check_bool "finite loss" true (Float.is_finite c.Exp_trace.avg_loss);
+      check_bool "late fraction sane" true
+        (c.Exp_trace.late >= 0.0 && c.Exp_trace.late <= 1.0))
+    cells;
+  let loss sched disp =
+    (List.find
+       (fun c -> c.Exp_trace.sched = sched && c.Exp_trace.disp = disp)
+       cells)
+      .Exp_trace.avg_loss
+  in
+  check_bool "tree scheduling no worse than FCFS under LWL" true
+    (loss "FCFS+tree" "LWL" <= loss "FCFS" "LWL" +. 1e-9)
+
+let test_exp_trace_parallel_identical () =
+  let serial = Exp_trace.grid (smoke_cfg ()) in
+  Parallel.set_jobs 2;
+  let parallel =
+    Fun.protect ~finally:(fun () -> Parallel.set_jobs 1) (fun () ->
+        Exp_trace.grid (smoke_cfg ()))
+  in
+  check_bool "grids bit-identical" true (serial = parallel)
+
+let test_exp_trace_inspect () =
+  let stats = Exp_trace.inspect (smoke_cfg ()) in
+  check_int "respects max_jobs" 400 stats.Sla_synth.kept
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "swf"
+    [
+      ( "reader",
+        [
+          Alcotest.test_case "fixture parses" `Quick test_fixture_parses;
+          Alcotest.test_case "fixture metadata" `Quick test_fixture_metadata;
+          Alcotest.test_case "short lines padded" `Quick
+            test_missing_fields_padded;
+          Alcotest.test_case "comments and blanks skipped" `Quick
+            test_mid_file_comments_and_blanks;
+          Alcotest.test_case "rejects malformed" `Quick test_rejects_malformed;
+          Alcotest.test_case "errors carry file:line" `Quick
+            test_error_carries_position;
+          Alcotest.test_case "chunked = pulled" `Quick test_chunked_equals_pull;
+          Alcotest.test_case "save round-trips" `Quick test_save_roundtrip;
+          qtest prop_line_roundtrip;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "streaming = eager" `Quick
+            test_streaming_equals_eager;
+          Alcotest.test_case "deterministic" `Quick test_synthesis_deterministic;
+          Alcotest.test_case "well formed" `Quick test_well_formed;
+          Alcotest.test_case "missing estimate = perfect" `Quick
+            test_missing_estimate_means_perfect;
+          Alcotest.test_case "drops and clamps" `Quick test_drops_and_clamps;
+          Alcotest.test_case "time-scale is a unit change" `Quick
+            test_time_scale_is_unit_change;
+          Alcotest.test_case "load-factor compresses arrivals" `Quick
+            test_load_factor_compresses_arrivals_only;
+          Alcotest.test_case "seed only permutes classes" `Quick
+            test_class_draw_independent_of_seed_only;
+          Alcotest.test_case "tiling" `Quick test_tiling;
+          Alcotest.test_case "max-jobs" `Quick test_max_jobs_truncates;
+          Alcotest.test_case "classes_of_string" `Quick test_classes_of_string;
+          Alcotest.test_case "invalid configs" `Quick test_invalid_configs;
+        ] );
+      ( "exp-trace",
+        [
+          Alcotest.test_case "grid smoke" `Quick test_exp_trace_grid_smoke;
+          Alcotest.test_case "serial = parallel" `Quick
+            test_exp_trace_parallel_identical;
+          Alcotest.test_case "inspect" `Quick test_exp_trace_inspect;
+        ] );
+    ]

@@ -311,6 +311,76 @@ let test_trace_io_rejects_garbage () =
       close_out oc;
       check_bool "bad header" true (raises_parse (fun () -> Trace_io.load path)))
 
+(* Hardened loading: NaN, negative times, backwards arrivals and
+   malformed records must be rejected with a file:line position, not
+   replayed into the simulator. *)
+let load_lines lines =
+  let path = Filename.temp_file "slatree" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc;
+      Trace_io.load path)
+
+let header = "# slatree-trace v1"
+
+let test_trace_io_rejects_invalid_values () =
+  let rejected lines =
+    match load_lines lines with
+    | _ -> false
+    | exception Trace_io.Parse_error _ -> true
+  in
+  check_bool "empty file" true (rejected []);
+  (* Query.make's own arrival < 0.0 guard lets NaN through (NaN
+     comparisons are all false) — the loader must reject it itself. *)
+  check_bool "NaN arrival" true (rejected [ header; "0,nan,5,5,0,5:1" ]);
+  check_bool "inf size" true (rejected [ header; "0,0,inf,5,0,5:1" ]);
+  check_bool "negative arrival" true (rejected [ header; "0,-1,5,5,0,5:1" ]);
+  check_bool "negative size" true (rejected [ header; "0,0,-5,5,0,5:1" ]);
+  check_bool "bad SLA level" true (rejected [ header; "0,0,5,5,0,5" ]);
+  check_bool "truncated record" true (rejected [ header; "0,0,5" ]);
+  check_bool "backwards arrivals" true
+    (rejected [ header; "0,10,5,5,0,5:1"; "1,3,5,5,0,5:1" ])
+
+let test_trace_io_error_carries_position () =
+  match load_lines [ header; "0,0,5,5,0,5:1"; "1,oops,5,5,0,5:1" ] with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Trace_io.Parse_error msg ->
+    check_bool "position is line 3" true
+      (let rec find i =
+         i + 2 <= String.length msg
+         && ((msg.[i] = ':' && msg.[i + 1] = '3' && msg.[i + 2] = ':') || find (i + 1))
+       in
+       find 0)
+
+let test_trace_io_save_seq () =
+  let queries = Trace.generate (base_cfg ~n:120 ()) in
+  let path = Filename.temp_file "slatree" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let n = Trace_io.save_seq path (Array.to_seq queries) in
+      check_int "count returned" 120 n;
+      let eager = Filename.temp_file "slatree" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove eager)
+        (fun () ->
+          Trace_io.save eager queries;
+          let read f =
+            let ic = open_in f in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          in
+          check_bool "save_seq = save" true (read path = read eager)))
+
 let prop_trace_io_roundtrip =
   QCheck.Test.make ~name:"trace IO roundtrips random traces" ~count:20
     QCheck.(int_range 1 1_000_000)
@@ -502,6 +572,11 @@ let () =
           Alcotest.test_case "line roundtrip" `Quick test_trace_io_roundtrip_line;
           Alcotest.test_case "file roundtrip" `Quick test_trace_io_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_trace_io_rejects_garbage;
+          Alcotest.test_case "rejects invalid values" `Quick
+            test_trace_io_rejects_invalid_values;
+          Alcotest.test_case "errors carry file:line" `Quick
+            test_trace_io_error_carries_position;
+          Alcotest.test_case "save_seq" `Quick test_trace_io_save_seq;
           qtest prop_trace_io_roundtrip;
         ] );
     ]
