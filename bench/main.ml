@@ -735,6 +735,88 @@ let run_swf scale =
       })
 
 (* ------------------------------------------------------------------ *)
+(* Tenancy: what the probe-priced admission controller costs on the
+   arrival hot path. One bursty overloaded tenant-tagged workload,
+   identical pool and stack, admission off vs on — the on run pays one
+   O(servers) append-probe scan plus up to two O(log M) postpone
+   probes per arrival. *)
+
+type tenancy_bench = {
+  tn_queries : int;
+  tn_off_ms : float;
+  tn_on_ms : float;
+  tn_overhead_pct : float;
+  tn_profit_off : float;
+  tn_profit_on : float;
+  tn_rejected : int;
+  tn_degraded : int;
+}
+
+let run_tenancy scale =
+  let n_queries = max 2_000 (scale.Exp_scale.n_queries / 2) in
+  let servers = 4 in
+  let warmup_id = n_queries / 10 in
+  let reg = Tenancy.default_registry () in
+  let tcfg =
+    Trace.config ~kind:Workloads.Exp ~profile:Workloads.Sla_a ~load:0.9
+      ~servers ~n_queries ~seed:42 ()
+  in
+  let period = Float.of_int n_queries /. Trace.arrival_rate tcfg /. 8.0 in
+  let queries =
+    Tenancy.assign reg
+      (Bursty.generate tcfg (Bursty.square ~period ~duty:0.4 ~low:0.5 ~high:2.5))
+  in
+  Fmt.pr "=== tenancy: admission-probe cost, %d queries x %d servers ===@."
+    n_queries servers;
+  let one ~admission_on =
+    let acct = Tenancy.Acct.create reg ~warmup_id in
+    let admit =
+      if admission_on then Tenancy.admit (Tenancy.admission reg ~acct ())
+      else fun _sim q ->
+        Tenancy.Acct.on_offered acct q;
+        Tenancy.Acct.on_admitted acct q;
+        Sim.Admit
+    in
+    let metrics = Metrics.create ~warmup_id () in
+    let pick_next, hook =
+      Schedulers.instantiate Schedulers.fcfs_sla_tree_incr
+    in
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    Sim.run ~admit
+      ~on_complete:(Tenancy.Acct.on_complete acct)
+      ?on_server_event:hook ~queries ~n_servers:servers ~pick_next
+      ~dispatch:(Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()))
+      ~metrics ();
+    let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+    (ms, Tenancy.report acct, metrics)
+  in
+  let off_ms, rep_off, _ = one ~admission_on:false in
+  let on_ms, rep_on, m_on = one ~admission_on:true in
+  let overhead_pct = (on_ms -. off_ms) /. off_ms *. 100.0 in
+  let rejected = Metrics.rejected_count m_on in
+  let degraded =
+    List.fold_left (fun a r -> a + r.Tenancy.r_degraded) 0 rep_on.Tenancy.rows
+  in
+  Fmt.pr "admission off: %8.1f ms  profit $%.1f@." off_ms
+    rep_off.Tenancy.rep_profit;
+  Fmt.pr
+    "admission on:  %8.1f ms  profit $%.1f  (%d rejected, %d degraded, \
+     %+.1f%% time)@."
+    on_ms rep_on.Tenancy.rep_profit rejected degraded overhead_pct;
+  Fmt.pr "@.";
+  {
+    tn_queries = n_queries;
+    tn_off_ms = off_ms;
+    tn_on_ms = on_ms;
+    tn_overhead_pct = overhead_pct;
+    tn_profit_off = rep_off.Tenancy.rep_profit;
+    tn_profit_on = rep_on.Tenancy.rep_profit;
+    tn_rejected = rejected;
+    tn_degraded = degraded;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results (BENCH_sim.json). Hand-rolled writer: the
    schema is flat and the toolchain has no JSON dependency. *)
 
@@ -756,7 +838,7 @@ let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
 let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
-    ~parallel ~serve ~swf =
+    ~parallel ~serve ~swf ~tenancy =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -918,6 +1000,22 @@ let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
   add
     (Printf.sprintf "    \"peak_heap_mb\": %s\n"
        (json_float swf.sw_peak_heap_mb));
+  add "  },\n";
+  add "  \"tenancy\": {\n";
+  add (Printf.sprintf "    \"queries\": %d,\n" tenancy.tn_queries);
+  add (Printf.sprintf "    \"off_ms\": %s,\n" (json_float tenancy.tn_off_ms));
+  add (Printf.sprintf "    \"on_ms\": %s,\n" (json_float tenancy.tn_on_ms));
+  add
+    (Printf.sprintf "    \"overhead_pct\": %s,\n"
+       (json_float tenancy.tn_overhead_pct));
+  add
+    (Printf.sprintf "    \"profit_off\": %s,\n"
+       (json_float tenancy.tn_profit_off));
+  add
+    (Printf.sprintf "    \"profit_on\": %s,\n"
+       (json_float tenancy.tn_profit_on));
+  add (Printf.sprintf "    \"rejected\": %d,\n" tenancy.tn_rejected);
+  add (Printf.sprintf "    \"degraded\": %d\n" tenancy.tn_degraded);
   add "  }\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -943,9 +1041,10 @@ let () =
   let parallel = run_parallel scale in
   let serve = run_serve scale in
   let swf = run_swf scale in
+  let tenancy = run_tenancy scale in
   let micro = run_micro () in
   emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~scale_run
-    ~elastic ~obs ~faults ~parallel ~serve ~swf;
+    ~elastic ~obs ~faults ~parallel ~serve ~swf ~tenancy;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

@@ -276,7 +276,7 @@ let dispatcher_of_string ~rate = function
   | "tree-fcfs+ac" -> Ok (Dispatchers.fcfs_sla_tree_incr ~admission:true ())
   | s -> Error (Printf.sprintf "unknown dispatcher %S" s)
 
-let run_trace_generate out kind profile load servers n seed sigma2 =
+let run_trace_generate out kind profile load servers n seed sigma2 tenants =
   match (kind_of_string kind, profile_of_string profile) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok kind, Ok profile ->
@@ -288,11 +288,17 @@ let run_trace_generate out kind profile load servers n seed sigma2 =
       Trace.config ~error ~kind ~profile ~load ~servers ~n_queries:n ~seed ()
     in
     let queries = Trace.generate cfg in
+    let queries =
+      if tenants then Tenancy.assign (Tenancy.default_registry ()) queries
+      else queries
+    in
     Trace_io.save out queries;
-    Fmt.pf ppf "wrote %d queries to %s (%s, %s, load %.2f, %d server(s))@." n out
+    Fmt.pf ppf "wrote %d queries to %s (%s, %s, load %.2f, %d server(s)%s)@." n
+      out
       (Workloads.kind_name kind)
       (Workloads.profile_name profile)
-      load servers;
+      load servers
+      (if tenants then ", tenant-tagged" else "");
     `Ok ()
 
 let run_trace_replay file scheduler_name dispatcher_name servers warmup =
@@ -664,12 +670,19 @@ let trace_generate_cmd =
     Arg.(value & opt float 0.0 & info [ "sigma2" ] ~docv:"S2"
            ~doc:"Estimation error variance (Sec 7.5); 0 = perfect estimates")
   in
+  let tenants =
+    Arg.(value & flag & info [ "tenants" ]
+           ~doc:
+             "Tag every query with a tenant from the default three-tenant \
+              registry (gold/silver/bronze), replacing its SLA with the \
+              tenant's tier-scaled class")
+  in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a workload trace file")
     Term.(
       ret
         (const run_trace_generate $ out $ kind $ profile $ load $ servers $ n
-       $ seed $ sigma2))
+       $ seed $ sigma2 $ tenants))
 
 let trace_replay_cmd =
   let file =
@@ -1048,6 +1061,13 @@ let run_replay_client connect_s file swf time_scale load_factor classes stretch
           (%d late), profit $%.2f, avg loss $%.4f, avg response %.2f ms@."
          s.Wire.completed s.Wire.rejected s.Wire.dropped s.Wire.measured
          s.Wire.late s.Wire.total_profit s.Wire.avg_loss s.Wire.avg_response;
+       List.iter
+         (fun tr ->
+           Fmt.pf ppf
+             "  tenant %d: %d completed, %d rejected, profit $%.2f@."
+             tr.Wire.tr_tenant tr.Wire.tr_completed tr.Wire.tr_rejected
+             tr.Wire.tr_profit)
+         s.Wire.tenants;
        `Ok ()
      | None -> `Error (false, "connection closed before the daemon's summary"))
    with
@@ -1191,6 +1211,76 @@ let replay_cmd =
        $ max_jobs_arg $ kind $ profile $ load $ gen_servers $ n $ seed
        $ sigma2 $ speed $ json))
 
+(* ------------------------------------------------------------------ *)
+(* Multi-tenant economics *)
+
+let run_exp_tenancy kind load burst n servers theta warmup_frac seed jobs =
+  match setup_jobs jobs with
+  | Error e -> `Error (false, e)
+  | Ok () -> (
+    match kind_of_string kind with
+    | Error e -> `Error (false, e)
+    | Ok kind -> (
+      match
+        Exp_tenancy.cfg ~kind ~load ~burst_high:burst ~n_queries:n ~servers
+          ~theta ~warmup_frac ~seed ()
+      with
+      | exception Invalid_argument e -> `Error (false, e)
+      | c ->
+        Exp_tenancy.run ppf c;
+        `Ok ()))
+
+let exp_tenancy_cmd =
+  let kind =
+    Arg.(value & opt string "exp" & info [ "kind" ] ~docv:"KIND"
+           ~doc:"Workload generator: exp | pareto | ssbm")
+  in
+  let load =
+    Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"RHO"
+           ~doc:"Steady-state utilization of the uniform pool")
+  in
+  let burst =
+    Arg.(value & opt float 2.5 & info [ "burst" ] ~docv:"X"
+           ~doc:"Bursty cells: peak load multiplier (duty 40%)")
+  in
+  let n =
+    Arg.(value & opt int 4000 & info [ "n" ] ~docv:"N" ~doc:"Query count")
+  in
+  let servers =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"M" ~doc:"Server count")
+  in
+  let theta =
+    Arg.(value & opt float 0.0 & info [ "theta" ] ~docv:"T"
+           ~doc:"Admission margin in dollars: admit only when the postpone \
+                 probe prices the arrival's net at T or better")
+  in
+  let warmup_frac =
+    Arg.(value & opt float 0.1 & info [ "warmup-frac" ] ~docv:"F"
+           ~doc:"Leading fraction of queries excluded from measurement")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed")
+  in
+  Cmd.v
+    (Cmd.info "tenancy"
+       ~doc:
+         "Multi-tenant economics grid: tenant-tagged workloads (SLA class x \
+          price tier) over uniform and mixed-speed pools, probe-priced \
+          admission control off and on, with per-tenant profit, Jain \
+          fairness and SLO burn-rate windows, plus an autoscaler choosing \
+          among server types under quantum billing. Output is bit-identical \
+          at any -j")
+    Term.(
+      ret
+        (const run_exp_tenancy $ kind $ load $ burst $ n $ servers $ theta
+       $ warmup_frac $ seed $ jobs_arg))
+
+let exp_cmd =
+  Cmd.group
+    (Cmd.info "exp"
+       ~doc:"Experiment grids beyond the paper's tables and figures")
+    [ exp_tenancy_cmd ]
+
 let main =
   Cmd.group
     (Cmd.info "slatree" ~version:"1.0.0"
@@ -1198,7 +1288,7 @@ let main =
     [
       table_cmd; fig_cmd; all_cmd; demo_cmd; ablation_cmd; elastic_cmd;
       validate_cmd; trace_cmd; workload_cmd; sim_cmd; resilience_cmd;
-      serve_cmd; replay_cmd;
+      serve_cmd; replay_cmd; exp_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -134,7 +134,8 @@ let scale_query speed query =
     Query.make ~id:query.Query.id ~arrival:query.Query.arrival
       ~size:query.Query.size
       ~est_size:(query.Query.est_size /. speed)
-      ~sla:query.Query.sla ()
+      ~sla:query.Query.sla ~retries:query.Query.retries
+      ~tenant:query.Query.tenant ()
 
 let insertion_profit ?impl ?arena planner sim sid q =
   let srv = Sim.server sim sid in

@@ -24,6 +24,34 @@
    time), hysteresis factors, cooldown, min/max pool bounds, and the
    boot delay on new servers. *)
 
+(* A bootable hardware tier. Billing is per-server: uptime is rounded
+   UP to a whole number of [st_quantum]s (clouds bill the started
+   hour), at [st_price] $ per quantum — unlike the legacy flat-rate
+   pool, which integrates pool-size over time with no rounding. *)
+type server_type = {
+  st_name : string;
+  st_speed : float;  (** execution rate relative to a stock server *)
+  st_price : float;  (** $ per started billing quantum *)
+  st_quantum : float;  (** billing quantum, ms *)
+  st_boot_delay : float;  (** ms before the server accepts work *)
+}
+
+let server_type ?(speed = 1.0) ?(boot_delay = 0.0) ~name ~price ~quantum () =
+  if name = "" then invalid_arg "Elastic.server_type: name must be non-empty";
+  if speed <= 0.0 then invalid_arg "Elastic.server_type: speed must be positive";
+  if price < 0.0 then invalid_arg "Elastic.server_type: price must be non-negative";
+  if quantum <= 0.0 then
+    invalid_arg "Elastic.server_type: quantum must be positive";
+  if boot_delay < 0.0 then
+    invalid_arg "Elastic.server_type: boot_delay must be non-negative";
+  { st_name = name; st_speed = speed; st_price = price; st_quantum = quantum;
+    st_boot_delay = boot_delay }
+
+(* A started quantum is a billed quantum; even a server retired within
+   its first instant owes one. *)
+let quantum_cost ty ~uptime =
+  Float.max 1.0 (Float.ceil (uptime /. ty.st_quantum)) *. ty.st_price
+
 type config = {
   interval : float;  (** decision interval, ms *)
   cost_per_interval : float;  (** $ per server per interval *)
@@ -34,11 +62,14 @@ type config = {
   up_factor : float;  (** scale up when window gain > cost * up_factor *)
   down_factor : float;
       (** consider scale-down when window gain < cost * down_factor *)
+  types : server_type array;
+      (** bootable tiers; empty = every scale-up boots a stock server
+          billed by the legacy flat-rate integral *)
 }
 
 let config ?(boot_delay = 0.0) ?(cooldown = 0.0) ?(up_factor = 1.0)
-    ?(down_factor = 0.5) ~interval ~cost_per_interval ~min_servers ~max_servers
-    () =
+    ?(down_factor = 0.5) ?(types = [||]) ~interval ~cost_per_interval
+    ~min_servers ~max_servers () =
   if interval <= 0.0 then invalid_arg "Elastic.config: interval must be positive";
   if cost_per_interval < 0.0 then
     invalid_arg "Elastic.config: cost must be non-negative";
@@ -59,6 +90,7 @@ let config ?(boot_delay = 0.0) ?(cooldown = 0.0) ?(up_factor = 1.0)
     cooldown;
     up_factor;
     down_factor;
+    types;
   }
 
 (* What a policy sees at each decision point: one window's worth of
@@ -194,8 +226,15 @@ let static = { name = "static"; decide = (fun _ -> Hold) }
 (* Controller. *)
 
 type summary = {
-  server_time : float;  (** integral of pool size over the run, ms*servers *)
-  cost : float;  (** server_time / interval * cost_per_interval *)
+  server_time : float;
+      (** integral of flat-rate pool size over the run, ms*servers
+          (typed servers are excluded — they bill per quantum) *)
+  cost : float;
+      (** total rent: flat-rate integral cost plus quantum-billed typed
+          server cost *)
+  typed_cost : float;  (** the quantum-billed share of [cost] *)
+  boots_by_type : (string * int) list;
+      (** scale-up boots per configured type, in [config.types] order *)
   scale_ups : int;
   scale_downs : int;
   peak_pool : int;
@@ -232,6 +271,11 @@ type t = {
   mutable low : int;
   mutable decisions : int;
   mutable events_rev : (float * action) list;
+  (* typed (quantum-billed) servers: sid -> (type, boot instant), kept
+     sorted by sid so cost sums fold in a deterministic order *)
+  mutable typed : (int * (server_type * float)) list;
+  mutable typed_cost : float;  (* quanta already billed (retired servers) *)
+  boot_counts : int array;  (* boots per cfg.types index *)
 }
 
 let create ?(obs = Obs.noop) cfg policy ~initial_servers =
@@ -268,11 +312,19 @@ let create ?(obs = Obs.noop) cfg policy ~initial_servers =
     low = initial_servers;
     decisions = 0;
     events_rev = [];
+    typed = [];
+    typed_cost = 0.0;
+    boot_counts = Array.make (Array.length cfg.types) 0;
   }
 
+(* The flat-rate integral covers only servers without an explicit
+   type; typed servers are billed per started quantum instead (and so
+   never enter [acc] — with [cfg.types] empty this is exactly the
+   historical pool integral, bit for bit). *)
 let account c ~now =
   if now > c.acct_t then begin
-    c.acc <- c.acc +. ((now -. c.acct_t) *. Float.of_int c.pool);
+    let flat = c.pool - List.length c.typed in
+    c.acc <- c.acc +. ((now -. c.acct_t) *. Float.of_int flat);
     c.acct_t <- now
   end
 
@@ -290,14 +342,21 @@ let on_dispatch c ~now q d =
    membership for the cost integral. Scale-ups are charged from the
    moment the server is requested (boot time is paid for), drains
    until the server actually leaves. *)
-let on_server_event c ~sid:_ ~now ev =
+let on_server_event c ~sid ~now ev =
   match ev with
   | Sim.Scaled_up ->
     account c ~now;
     c.pool <- c.pool + 1;
     if c.pool > c.peak then c.peak <- c.pool
   | Sim.Retired ->
-    account c ~now;
+    (match List.assoc_opt sid c.typed with
+    | Some (ty, since) ->
+      (* bill before shrinking the pool: the typed server is excluded
+         from the flat integral either way *)
+      account c ~now;
+      c.typed_cost <- c.typed_cost +. quantum_cost ty ~uptime:(now -. since);
+      c.typed <- List.remove_assoc sid c.typed
+    | None -> account c ~now);
     c.pool <- c.pool - 1;
     if c.pool < c.low then c.low <- c.pool
   | Sim.Started _ | Sim.Enqueued _ | Sim.Finished _ | Sim.Dropped _
@@ -360,6 +419,27 @@ let decision_event c o ~name ~k ~pool_after =
       ]
     name
 
+(* Which tier should the next boot be? Score each type's expected net
+   over one interval: the window's idle-server margin evidence scaled
+   by the type's speed (a 2x server captures roughly twice what the
+   stock-speed probe priced), discounted by the fraction of the
+   interval lost to booting, minus the type's steady-state rent for
+   one interval. Deterministic argmax, first-listed type on ties. *)
+let choose_type cfg o =
+  let gain = o.margin_per_query *. Float.of_int o.arrivals in
+  let best = ref 0 and best_score = ref neg_infinity in
+  Array.iteri
+    (fun i ty ->
+      let ready = Float.max 0.0 (1.0 -. (ty.st_boot_delay /. cfg.interval)) in
+      let rent = ty.st_price *. cfg.interval /. ty.st_quantum in
+      let score = (gain *. ty.st_speed *. ready) -. rent in
+      if score > !best_score then begin
+        best := i;
+        best_score := score
+      end)
+    cfg.types;
+  !best
+
 (* One decision: build the observation, ask the policy, clamp to the
    configured bounds and cooldown, apply through the Sim pool API.
    Wire as [Sim.run]'s ticker body. *)
@@ -399,9 +479,24 @@ let tick c sim =
     | Some s -> Obs.Registry.incr s.o_holds
     | None -> ())
   | Scale_up k ->
-    for _ = 1 to k do
-      ignore (Sim.add_server ~boot_delay:cfg.boot_delay sim)
-    done;
+    let boot () =
+      if Array.length cfg.types = 0 then
+        ignore (Sim.add_server ~boot_delay:cfg.boot_delay sim)
+      else begin
+        let ti = choose_type cfg obs in
+        let ty = cfg.types.(ti) in
+        let sid =
+          Sim.add_server ~speed:ty.st_speed ~boot_delay:ty.st_boot_delay sim
+        in
+        c.typed <-
+          List.merge
+            (fun (a, _) (b, _) -> Int.compare a b)
+            c.typed
+            [ (sid, (ty, now)) ];
+        c.boot_counts.(ti) <- c.boot_counts.(ti) + 1
+      end
+    in
+    for _ = 1 to k do boot () done;
     c.ups <- c.ups + k;
     c.last_action <- now;
     c.events_rev <- (now, action) :: c.events_rev;
@@ -435,13 +530,24 @@ let tick c sim =
   c.win_margin_n <- 0;
   c.win_arrivals <- 0
 
-(* Close the cost integral at the simulation's last event. *)
-let finalize c ~now = account c ~now
+(* Close the cost integral at the simulation's last event and bill
+   every still-running typed server up to it. *)
+let finalize c ~now =
+  account c ~now;
+  List.iter
+    (fun (_, (ty, since)) ->
+      c.typed_cost <- c.typed_cost +. quantum_cost ty ~uptime:(now -. since))
+    c.typed;
+  c.typed <- []
 
 let summary c =
   {
     server_time = c.acc;
-    cost = c.acc /. c.cfg.interval *. c.cfg.cost_per_interval;
+    cost = (c.acc /. c.cfg.interval *. c.cfg.cost_per_interval) +. c.typed_cost;
+    typed_cost = c.typed_cost;
+    boots_by_type =
+      Array.to_list
+        (Array.mapi (fun i ty -> (ty.st_name, c.boot_counts.(i))) c.cfg.types);
     scale_ups = c.ups;
     scale_downs = c.downs;
     peak_pool = c.peak;
@@ -542,4 +648,11 @@ let pp_summary ppf s =
   Fmt.pf ppf
     "server_time=%.0f cost=%.2f ups=%d downs=%d pool=[%d..%d] decisions=%d"
     s.server_time s.cost s.scale_ups s.scale_downs s.min_pool s.peak_pool
-    s.decisions
+    s.decisions;
+  if s.boots_by_type <> [] then begin
+    Fmt.pf ppf " boots=[";
+    List.iteri
+      (fun i (n, k) -> Fmt.pf ppf "%s%s:%d" (if i > 0 then " " else "") n k)
+      s.boots_by_type;
+    Fmt.pf ppf "] typed_cost=%.2f" s.typed_cost
+  end

@@ -13,6 +13,32 @@
     controller owns cost accounting, hysteresis, cooldown, pool bounds
     and boot delay. *)
 
+(** A bootable hardware tier. Typed servers bill {e per server}:
+    uptime rounds UP to whole [st_quantum]s (clouds bill the started
+    hour) at [st_price] per quantum — unlike the legacy flat-rate
+    pool, whose cost is the un-rounded pool-size integral. *)
+type server_type = {
+  st_name : string;
+  st_speed : float;  (** execution rate relative to a stock server *)
+  st_price : float;  (** $ per started billing quantum *)
+  st_quantum : float;  (** billing quantum, ms *)
+  st_boot_delay : float;  (** ms before the server accepts work *)
+}
+
+(** Validating constructor. Defaults: [speed = 1.0], [boot_delay = 0]. *)
+val server_type :
+  ?speed:float ->
+  ?boot_delay:float ->
+  name:string ->
+  price:float ->
+  quantum:float ->
+  unit ->
+  server_type
+
+(** [quantum_cost ty ~uptime] — the round-up bill: at least one
+    quantum, then one per started [st_quantum] of uptime. *)
+val quantum_cost : server_type -> uptime:float -> float
+
 type config = {
   interval : float;  (** decision interval, ms *)
   cost_per_interval : float;  (** $ per server per interval *)
@@ -26,15 +52,22 @@ type config = {
   up_factor : float;  (** scale up when window gain > cost * up_factor *)
   down_factor : float;
       (** consider scale-down when window gain < cost * down_factor *)
+  types : server_type array;
+      (** bootable tiers the controller may choose among at each
+          scale-up (picked by expected net: margin evidence scaled by
+          the tier's speed and boot-readiness, minus its rent); empty
+          = every boot is a stock server on the flat-rate integral,
+          bit-identical to the pre-typed controller *)
 }
 
 (** Validating constructor. Defaults: no boot delay, no cooldown,
-    [up_factor = 1.0], [down_factor = 0.5]. *)
+    [up_factor = 1.0], [down_factor = 0.5], no server types. *)
 val config :
   ?boot_delay:float ->
   ?cooldown:float ->
   ?up_factor:float ->
   ?down_factor:float ->
+  ?types:server_type array ->
   interval:float ->
   cost_per_interval:float ->
   min_servers:int ->
@@ -88,8 +121,15 @@ val removal_cost : Sim.t -> sid:int -> float
 val cheapest_removal : Sim.t -> (int * float) option
 
 type summary = {
-  server_time : float;  (** integral of pool size over time, ms*servers *)
-  cost : float;  (** [server_time / interval * cost_per_interval] *)
+  server_time : float;
+      (** integral of flat-rate pool size over time, ms*servers (typed
+          servers bill per quantum and never enter this integral) *)
+  cost : float;
+      (** total rent: [server_time / interval * cost_per_interval]
+          plus [typed_cost] *)
+  typed_cost : float;  (** the quantum-billed share of [cost] *)
+  boots_by_type : (string * int) list;
+      (** boots per configured type, in [config.types] order *)
   scale_ups : int;
   scale_downs : int;
   peak_pool : int;

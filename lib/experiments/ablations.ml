@@ -293,7 +293,8 @@ let predictor_compute (scale : Exp_scale.t) =
               Array.map
                 (fun q ->
                   Query.make ~id:q.Query.id ~arrival:q.Query.arrival
-                    ~size:q.Query.size ~est_size:q.Query.size ~sla:q.Query.sla ())
+                    ~size:q.Query.size ~est_size:q.Query.size ~sla:q.Query.sla
+                    ~tenant:q.Query.tenant ())
                 queries
             else queries
           in

@@ -1,0 +1,76 @@
+(** Multi-tenant economics experiment: the admission-control grid.
+
+    One synthetic workload (steady and bursty-overloaded variants) is
+    tagged by a {!Tenancy.registry} and replayed over homogeneous and
+    heterogeneous (mixed-speed) pools, with the probe-priced admission
+    controller off and on — 8 cells. The report adds per-tenant
+    attainment, Jain fairness and SLO burn-rate windows for the
+    overloaded cells, plus an elastic variant where the autoscaler
+    chooses {e which} server type to boot ({!Elastic.config}[.types])
+    under quantum round-up billing.
+
+    Everything is deterministic in the config seed and independent of
+    [-j]: cells run under [Parallel.map_list], tenant assignment is
+    keyed per query id, and no wall-clock reaches the output. *)
+
+type cfg = {
+  kind : Workloads.kind;
+  load : float;  (** steady-state utilization of the uniform pool *)
+  burst_high : float;  (** bursty cells: peak load multiplier *)
+  n_queries : int;
+  servers : int;
+  theta : float;  (** admission margin, $ *)
+  warmup_frac : float;
+  seed : int;
+}
+
+val cfg :
+  ?kind:Workloads.kind ->
+  ?load:float ->
+  ?burst_high:float ->
+  ?n_queries:int ->
+  ?servers:int ->
+  ?theta:float ->
+  ?warmup_frac:float ->
+  ?seed:int ->
+  unit ->
+  cfg
+
+(** One grid cell: a (admission x pool x workload) run. [profit] is
+    the summed measured per-tenant profit; [turned_away] the ideal
+    profit of rejected queries. *)
+type cell = {
+  admission : bool;
+  pool : string;
+  workload : string;
+  profit : float;
+  turned_away : float;
+  rejected : int;
+  degraded : int;
+  late : float;
+  fairness : float;
+  report : Tenancy.report;
+}
+
+(** The registry all cells are tagged with (three tenants over the
+    default gold/silver/bronze ladder). *)
+val registry : unit -> Tenancy.registry
+
+(** The 8 cells, in a fixed (workload, pool, admission) order;
+    bit-identical at any [-j]. Each cell checks the
+    [offered = admitted + rejected] balance and raises on violation. *)
+val grid : cfg -> cell list
+
+type typed_row = {
+  t_profit : float;
+  t_cost : float;  (** total rent, typed quantum bills included *)
+  t_typed_cost : float;
+  t_boots : (string * int) list;  (** boots per server type *)
+  t_peak_pool : int;
+}
+
+(** The elastic variant: bursty workload, admission on, autoscaler
+    choosing between a small and a large server type. *)
+val run_typed : cfg -> typed_row
+
+val run : Format.formatter -> cfg -> unit

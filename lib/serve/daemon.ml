@@ -40,6 +40,9 @@ module Engine = struct
     metrics : Metrics.t;
     o : Obs.t;
     owners : (int, int) Hashtbl.t;  (** qid -> client *)
+    tally : (int, int * int * float) Hashtbl.t;
+        (** tenant -> (completed, rejected, profit); tenant 0
+            (untagged) is not tallied *)
     pending : Query.t Heap.t;
         (** realtime mode: submissions stamped in the future, held
             until due *)
@@ -67,8 +70,8 @@ module Engine = struct
   let completed t = t.completed
   let on_emit t f = t.emit <- f
 
-  let create ?(obs = Obs.noop) ?(warmup = 0) ?speeds ?drop_policy ?ticker
-      ~clock ~scheduler ~dispatcher ~n_servers () =
+  let create ?(obs = Obs.noop) ?(warmup = 0) ?admit ?speeds ?drop_policy
+      ?ticker ~clock ~scheduler ~dispatcher ~n_servers () =
     let pick_next, hook = Schedulers.instantiate ~obs scheduler in
     let dispatch = Dispatchers.instantiate ~obs dispatcher in
     let metrics = Metrics.create ~warmup_id:warmup () in
@@ -77,8 +80,19 @@ module Engine = struct
        tie the knot through a forward ref. *)
     let self = ref None in
     let the () = Option.get !self in
+    let tally_on t q ~rejected ~profit =
+      let tn = q.Query.tenant in
+      if tn > 0 then begin
+        let c, r, p =
+          Option.value (Hashtbl.find_opt t.tally tn) ~default:(0, 0, 0.0)
+        in
+        if rejected then Hashtbl.replace t.tally tn (c, r + 1, p)
+        else Hashtbl.replace t.tally tn (c + 1, r, p +. profit)
+      end
+    in
     let on_dispatch ~now q (d : Sim.decision) =
       let t = the () in
+      if d.target = None then tally_on t q ~rejected:true ~profit:0.0;
       match Hashtbl.find_opt t.owners q.Query.id with
       | None -> ()
       | Some client ->
@@ -91,6 +105,7 @@ module Engine = struct
     let on_complete q ~completion =
       let t = the () in
       t.completed <- t.completed + 1;
+      tally_on t q ~rejected:false ~profit:(Query.profit_at q ~completion);
       match Hashtbl.find_opt t.owners q.Query.id with
       | None -> ()
       | Some client ->
@@ -113,8 +128,9 @@ module Engine = struct
       | _ -> ()
     in
     let sess =
-      Sim.session ~obs ~on_dispatch ~on_complete ~on_server_event ?speeds
-        ?drop_policy ?ticker ~n_servers ~pick_next ~dispatch ~metrics ()
+      Sim.session ~obs ?admit ~on_dispatch ~on_complete ~on_server_event
+        ?speeds ?drop_policy ?ticker ~n_servers ~pick_next ~dispatch ~metrics
+        ()
     in
     let reg = Obs.registry obs in
     let t =
@@ -124,6 +140,7 @@ module Engine = struct
         metrics;
         o = obs;
         owners;
+        tally = Hashtbl.create 16;
         pending =
           Heap.create (fun a b ->
               Float.compare a.Query.arrival b.Query.arrival);
@@ -152,6 +169,15 @@ module Engine = struct
       avg_loss = Metrics.avg_loss m;
       avg_response = Metrics.avg_response m;
       vnow = Sim.now (Sim.sim t.sess);
+      tenants =
+        Hashtbl.fold
+          (fun tn (c, r, p) acc ->
+            { Wire.tr_tenant = tn; tr_completed = c; tr_rejected = r;
+              tr_profit = p }
+            :: acc)
+          t.tally []
+        |> List.sort (fun a b ->
+               Int.compare a.Wire.tr_tenant b.Wire.tr_tenant);
     }
 
   let inject_due t ~vnow =
@@ -217,7 +243,7 @@ module Engine = struct
           if t.base = 0.0 then q
           else
             Query.make ~est_size:q.Query.est_size ~retries:q.Query.retries
-              ~id:q.Query.id
+              ~tenant:q.Query.tenant ~id:q.Query.id
               ~arrival:(Float.max 0.0 (q.Query.arrival +. t.base))
               ~size:q.Query.size ~sla:q.Query.sla ()
         in

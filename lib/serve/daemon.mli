@@ -37,8 +37,11 @@ module Engine : sig
       decision stack: a {!Sim.session} with [scheduler]/[dispatcher]
       instantiated against [obs] (their per-decision latency
       histograms keep working under serving), [warmup] unmeasured
-      query ids, and optional [speeds]/[drop_policy]/[ticker]
-      passthrough with [Sim.run]'s semantics.
+      query ids, and optional [admit]/[speeds]/[drop_policy]/[ticker]
+      passthrough with [Sim.run]'s semantics (an admission controller
+      prices live submissions exactly as simulated ones; its
+      rejections reach the submitting client as [Decision] with no
+      target).
 
       With a manual [clock], submissions advance virtual time exactly
       as [Sim.run] does (deterministic mode). With a realtime clock,
@@ -47,6 +50,7 @@ module Engine : sig
   val create :
     ?obs:Obs.t ->
     ?warmup:int ->
+    ?admit:Sim.admit ->
     ?speeds:float array ->
     ?drop_policy:(now:float -> Query.t -> bool) ->
     ?ticker:float * (Sim.t -> unit) ->

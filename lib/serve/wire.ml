@@ -11,9 +11,17 @@
    Frames are size-capped (1 MiB) so a garbage length field cannot
    make a decoder buffer unboundedly. *)
 
-let protocol_version = 1
+let protocol_version = 2
 let magic = '\xA7'
 let max_payload = 1 lsl 20
+
+(* One per-tenant accounting line in the end-of-run summary. *)
+type tenant_row = {
+  tr_tenant : int;
+  tr_completed : int;
+  tr_rejected : int;
+  tr_profit : float;
+}
 
 type summary = {
   completed : int;
@@ -25,6 +33,7 @@ type summary = {
   avg_loss : float;
   avg_response : float;
   vnow : float;
+  tenants : tenant_row list;  (* sorted by tenant id; [] = untagged run *)
 }
 
 type msg =
@@ -59,6 +68,7 @@ let foeq a b =
 let query_equal (a : Query.t) (b : Query.t) =
   a.id = b.id && feq a.arrival b.arrival && feq a.size b.size
   && feq a.est_size b.est_size && a.retries = b.retries
+  && a.tenant = b.tenant
   && Sla.penalty a.sla = Sla.penalty b.sla
   && List.length (Sla.levels a.sla) = List.length (Sla.levels b.sla)
   && List.for_all2
@@ -82,6 +92,12 @@ let equal m1 m2 =
     && a.dropped = b.dropped && a.measured = b.measured && a.late = b.late
     && feq a.total_profit b.total_profit && feq a.avg_loss b.avg_loss
     && feq a.avg_response b.avg_response && feq a.vnow b.vnow
+    && List.length a.tenants = List.length b.tenants
+    && List.for_all2
+         (fun ta tb ->
+           ta.tr_tenant = tb.tr_tenant && ta.tr_completed = tb.tr_completed
+           && ta.tr_rejected = tb.tr_rejected && feq ta.tr_profit tb.tr_profit)
+         a.tenants b.tenants
   | Error_msg a, Error_msg b -> a = b
   | _ -> false
 
@@ -135,6 +151,7 @@ let add_query b (q : Query.t) =
   add_f b q.size;
   add_f b q.est_size;
   add_i64 b q.retries;
+  add_i64 b q.tenant;
   let levels = Sla.levels q.sla in
   add_i64 b (List.length levels);
   List.iter
@@ -173,7 +190,15 @@ let payload_of_msg m =
     add_f b s.total_profit;
     add_f b s.avg_loss;
     add_f b s.avg_response;
-    add_f b s.vnow
+    add_f b s.vnow;
+    add_i64 b (List.length s.tenants);
+    List.iter
+      (fun tr ->
+        add_i64 b tr.tr_tenant;
+        add_i64 b tr.tr_completed;
+        add_i64 b tr.tr_rejected;
+        add_f b tr.tr_profit)
+      s.tenants
   | Error_msg e -> add_str b e);
   Buffer.contents b
 
@@ -231,6 +256,7 @@ let rd_query r =
   let size = rd_f r in
   let est_size = rd_f r in
   let retries = rd_i64 r in
+  let tenant = rd_i64 r in
   let n_levels = rd_i64 r in
   if n_levels < 0 || n_levels > 4096 then raise (Bad "bad level count");
   let levels =
@@ -242,7 +268,7 @@ let rd_query r =
   let penalty = rd_f r in
   match Sla.make ~levels ~penalty with
   | sla -> (
-    try Query.make ~est_size ~retries ~id ~arrival ~size ~sla ()
+    try Query.make ~est_size ~retries ~tenant ~id ~arrival ~size ~sla ()
     with Invalid_argument e -> raise (Bad ("invalid query: " ^ e)))
   | exception Sla.Invalid e -> raise (Bad ("invalid sla: " ^ e))
 
@@ -280,6 +306,17 @@ let msg_of_payload tag r =
       let avg_loss = rd_f r in
       let avg_response = rd_f r in
       let vnow = rd_f r in
+      let n_tenants = rd_i64 r in
+      if n_tenants < 0 || n_tenants > 65536 then
+        raise (Bad "bad tenant row count");
+      let tenants =
+        List.init n_tenants (fun _ ->
+            let tr_tenant = rd_i64 r in
+            let tr_completed = rd_i64 r in
+            let tr_rejected = rd_i64 r in
+            let tr_profit = rd_f r in
+            { tr_tenant; tr_completed; tr_rejected; tr_profit })
+      in
       Summary
         {
           completed;
@@ -291,6 +328,7 @@ let msg_of_payload tag r =
           avg_loss;
           avg_response;
           vnow;
+          tenants;
         }
     | 8 -> Error_msg (rd_str r)
     | t -> raise (Bad (Printf.sprintf "unknown tag %d" t))
@@ -333,6 +371,7 @@ let json_of_query (q : Query.t) =
       ("size", jf q.size);
       ("est_size", jf q.est_size);
       ("retries", ji q.retries);
+      ("tenant", ji q.tenant);
       ( "sla",
         Jsonx.Obj
           [
@@ -375,6 +414,18 @@ let json_of_msg m =
         ("avg_loss", jf s.avg_loss);
         ("avg_response", jf s.avg_response);
         ("vnow", jf s.vnow);
+        ( "tenants",
+          Jsonx.Arr
+            (List.map
+               (fun tr ->
+                 Jsonx.Obj
+                   [
+                     ("tenant", ji tr.tr_tenant);
+                     ("completed", ji tr.tr_completed);
+                     ("rejected", ji tr.tr_rejected);
+                     ("profit", jf tr.tr_profit);
+                   ])
+               s.tenants) );
       ]
   | Error_msg e -> obj "error" [ ("msg", Jsonx.Str e) ]
 
@@ -426,9 +477,20 @@ let query_of_json j =
   match Sla.make ~levels ~penalty with
   | sla -> (
     try
+      (* [tenant] is optional on the wire: hand-written Json (netcat)
+         predating tenancy still parses, defaulting to the anonymous
+         tenant. *)
+      let tenant =
+        match Jsonx.member "tenant" j with
+        | None | Some Jsonx.Null -> 0
+        | Some v -> (
+          match Jsonx.to_int v with
+          | Some t -> t
+          | None -> raise (Bad "field \"tenant\": not an int"))
+      in
       Query.make ~est_size:(jfloat j "est_size") ~retries:(jint j "retries")
-        ~id:(jint j "id") ~arrival:(jfloat j "arrival") ~size:(jfloat j "size")
-        ~sla ()
+        ~tenant ~id:(jint j "id") ~arrival:(jfloat j "arrival")
+        ~size:(jfloat j "size") ~sla ()
     with Invalid_argument e -> raise (Bad ("invalid query: " ^ e)))
   | exception Sla.Invalid e -> raise (Bad ("invalid sla: " ^ e))
 
@@ -461,6 +523,22 @@ let msg_of_json j =
         avg_loss = jfloat j "avg_loss";
         avg_response = jfloat j "avg_response";
         vnow = jfloat j "vnow";
+        tenants =
+          (match Jsonx.member "tenants" j with
+          | None | Some Jsonx.Null -> []
+          | Some v -> (
+            match Jsonx.to_list v with
+            | None -> raise (Bad "field \"tenants\": not a list")
+            | Some rows ->
+              List.map
+                (fun row ->
+                  {
+                    tr_tenant = jint row "tenant";
+                    tr_completed = jint row "completed";
+                    tr_rejected = jint row "rejected";
+                    tr_profit = jfloat row "profit";
+                  })
+                rows));
       }
   | "error" -> Error_msg (jstr j "msg")
   | t -> raise (Bad (Printf.sprintf "unknown message type %S" t))

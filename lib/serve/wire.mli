@@ -17,6 +17,14 @@
     frame header and {!Hello}. *)
 val protocol_version : int
 
+(** One per-tenant accounting line in the end-of-run summary. *)
+type tenant_row = {
+  tr_tenant : int;
+  tr_completed : int;
+  tr_rejected : int;
+  tr_profit : float;
+}
+
 type summary = {
   completed : int;
   rejected : int;
@@ -27,6 +35,9 @@ type summary = {
   avg_loss : float;
   avg_response : float;
   vnow : float;  (** virtual clock at summary time (ms) *)
+  tenants : tenant_row list;
+      (** per-tenant lines, sorted by tenant id; empty on an untagged
+          run *)
 }
 
 type msg =

@@ -25,7 +25,10 @@ type t = {
      percentile query and reused until the next [push_response]. *)
   mutable sorted_responses : float array option;
   mutable completed_all : int;
+  mutable offered : int;  (* every query presented to the dispatcher *)
+  mutable admitted : int;  (* offered queries that reached a buffer *)
   mutable rejected : int;
+  mutable rejected_loss : float;  (* ideal profit turned away (measured) *)
   mutable dropped : int;
   mutable lost : int;  (* killed by a crash and never re-served *)
   mutable late : int;  (* measured queries that missed their first deadline *)
@@ -46,7 +49,10 @@ let create ?(response_cap = response_sample_cap) ~warmup_id () =
     rng = Prng.create (0x5e5e5e + warmup_id);
     sorted_responses = None;
     completed_all = 0;
+    offered = 0;
+    admitted = 0;
     rejected = 0;
+    rejected_loss = 0.0;
     dropped = 0;
     lost = 0;
     late = 0;
@@ -92,13 +98,17 @@ let record t q ~completion =
     if completion > Query.first_deadline q then t.late <- t.late + 1
   end
 
-(* A rejected query earns nothing; its ideal profit is fully lost. *)
+let record_offered t = t.offered <- t.offered + 1
+let record_admitted t = t.admitted <- t.admitted + 1
+
+(* A rejected query earns nothing and pays nothing: it never enters
+   the system, so it must not dilute the per-query averages the paper
+   reports over *served* work. The turned-away ideal profit is kept on
+   its own accumulator for the economics reports. *)
 let record_rejected t q =
   t.rejected <- t.rejected + 1;
-  if measured q t then begin
-    Stats.add t.loss (Query.ideal_profit q);
-    Stats.add t.profit 0.0
-  end
+  if measured q t then
+    t.rejected_loss <- t.rejected_loss +. Query.ideal_profit q
 
 (* A dropped query (paper footnote 2: its last deadline passed while it
    waited, so the penalty is already incurred): the provider keeps the
@@ -128,7 +138,10 @@ let record_lost t q =
 
 let measured_count t = Stats.count t.loss
 let completed_count t = t.completed_all
+let offered_count t = t.offered
+let admitted_count t = t.admitted
 let rejected_count t = t.rejected
+let rejected_loss t = t.rejected_loss
 let dropped_count t = t.dropped
 let lost_count t = t.lost
 let late_count t = t.late

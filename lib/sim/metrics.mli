@@ -17,8 +17,19 @@ val create : ?response_cap:int -> warmup_id:int -> unit -> t
 
 val record : t -> Query.t -> completion:float -> unit
 
-(** Rejected queries earn zero profit and lose their full ideal
-    profit. *)
+(** Every query presented to the dispatcher, before any admission or
+    dispatch decision. *)
+val record_offered : t -> unit
+
+(** An offered query that reached a server buffer. The invariant
+    [offered = admitted + rejected] holds whenever the simulator is
+    quiescent. *)
+val record_admitted : t -> unit
+
+(** Rejected queries never enter the system: they earn nothing, pay no
+    penalty, and are excluded from the measured averages ([avg_loss],
+    [avg_profit], response percentiles). Their turned-away ideal
+    profit accumulates in {!rejected_loss} instead. *)
 val record_rejected : t -> Query.t -> unit
 
 (** Dropped queries (paper footnote 2: abandoned after their last
@@ -33,7 +44,13 @@ val record_lost : t -> Query.t -> unit
 
 val measured_count : t -> int
 val completed_count : t -> int
+val offered_count : t -> int
+val admitted_count : t -> int
 val rejected_count : t -> int
+
+(** Sum of ideal profit of measured rejected queries — what admission
+    control turned away, kept out of the served-work averages. *)
+val rejected_loss : t -> float
 val dropped_count : t -> int
 
 (** Queries lost to crashes (see {!record_lost}). *)

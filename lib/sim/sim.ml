@@ -113,6 +113,16 @@ type decision = { target : int option; est_delta : float option }
 
 type dispatch = t -> Query.t -> decision
 
+(* An admission controller's verdict on an arriving query, delivered
+   before the dispatcher sees it. [Degrade] swaps in a cheaper copy of
+   the same query (down-tiered SLA); it must keep the id. *)
+type verdict =
+  | Admit
+  | Degrade of Query.t
+  | Reject
+
+type admit = t -> Query.t -> verdict
+
 let n_servers t = Array.length t.servers
 let server t i = t.servers.(i)
 let now t = t.now
@@ -442,9 +452,9 @@ type session = {
   s_fire_tick : (t -> unit) -> unit;
 }
 
-let session ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event
-    ?speeds ?drop_policy ?ticker ?timers ~n_servers ~pick_next ~dispatch
-    ~metrics () =
+let session ?(obs = Obs.noop) ?admit ?on_dispatch ?on_complete
+    ?on_server_event ?speeds ?drop_policy ?ticker ?timers ~n_servers ~pick_next
+    ~dispatch ~metrics () =
   let t = create ?speeds ~n_servers () in
   (* One-shot timed callbacks (fault injection plugs in here), fired at
      exactly their scheduled instants, in array order. Like the ticker,
@@ -474,7 +484,8 @@ let session ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event
   let c_arrivals = Obs.Registry.counter reg "sim.arrivals"
   and c_completions = Obs.Registry.counter reg "sim.completions"
   and c_dropped = Obs.Registry.counter reg "sim.dropped"
-  and c_rejected = Obs.Registry.counter reg "sim.rejected" in
+  and c_rejected = Obs.Registry.counter reg "sim.rejected"
+  and c_degraded = Obs.Registry.counter reg "sim.degraded" in
   (* Footnote-2 alternative: at each scheduling point, abandon buffered
      queries the policy gives up on (typically those past their last
      deadline, whose penalty is already incurred). *)
@@ -536,16 +547,44 @@ let session ?(obs = Obs.noop) ?on_dispatch ?on_complete ?on_server_event
         ~args:[ ("sim_t", Obs.Trace.F t.now); ("qid", Obs.Trace.I q.Query.id) ]
         "arrive"
     end;
-    (let d = dispatch t q in
-     (match on_dispatch with Some f -> f ~now:t.now q d | None -> ());
-     match d.target with
-     | None ->
-       if obs_on then Obs.Registry.incr c_rejected;
-       Metrics.record_rejected metrics q
-     | Some sid ->
-       if sid < 0 || sid >= Array.length t.servers then
-         invalid_arg "Sim.run: dispatcher returned an invalid server";
-       dispatch_to t t.servers.(sid) q);
+    Metrics.record_offered metrics;
+    (* Refusals — by the admission controller or by an admission-mode
+       dispatcher returning no target — share one account, so
+       [offered = admitted + rejected] holds however a query is turned
+       away. *)
+    let refuse q =
+      if obs_on then Obs.Registry.incr c_rejected;
+      Metrics.record_rejected metrics q
+    in
+    (* The admission controller sees the query before the dispatcher:
+       it can wave it through, swap in a down-tiered copy (same id —
+       completion bookkeeping is keyed on it), or refuse outright. *)
+    (let verdict = match admit with None -> Admit | Some f -> f t q in
+     match verdict with
+     | Reject ->
+       (match on_dispatch with
+       | Some f -> f ~now:t.now q { target = None; est_delta = None }
+       | None -> ());
+       refuse q
+     | Admit | Degrade _ ->
+       let q =
+         match verdict with
+         | Degrade q' ->
+           if q'.Query.id <> q.Query.id then
+             invalid_arg "Sim.run: Degrade must keep the query id";
+           if obs_on then Obs.Registry.incr c_degraded;
+           q'
+         | _ -> q
+       in
+       let d = dispatch t q in
+       (match on_dispatch with Some f -> f ~now:t.now q d | None -> ());
+       (match d.target with
+       | None -> refuse q
+       | Some sid ->
+         if sid < 0 || sid >= Array.length t.servers then
+           invalid_arg "Sim.run: dispatcher returned an invalid server";
+         Metrics.record_admitted metrics;
+         dispatch_to t t.servers.(sid) q));
     if obs_on then Obs.Trace.end_span tr ()
   in
   t.arrive <- Some arrive;
@@ -675,10 +714,11 @@ let next_event_time sess =
   | None -> ());
   if Float.is_finite !best then Some !best else None
 
-let run ?obs ?on_dispatch ?on_complete ?on_server_event ?speeds ?drop_policy
-    ?ticker ?timers ~queries ~n_servers ~pick_next ~dispatch ~metrics () =
+let run ?obs ?admit ?on_dispatch ?on_complete ?on_server_event ?speeds
+    ?drop_policy ?ticker ?timers ~queries ~n_servers ~pick_next ~dispatch
+    ~metrics () =
   let sess =
-    session ?obs ?on_dispatch ?on_complete ?on_server_event ?speeds
+    session ?obs ?admit ?on_dispatch ?on_complete ?on_server_event ?speeds
       ?drop_policy ?ticker ?timers ~n_servers ~pick_next ~dispatch ~metrics ()
   in
   Array.iter (fun q -> inject sess q) queries;

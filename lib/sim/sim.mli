@@ -90,6 +90,20 @@ type decision = { target : int option; est_delta : float option }
 
 type dispatch = t -> Query.t -> decision
 
+(** An admission controller's verdict on an arriving query, delivered
+    {e before} the dispatcher sees it: wave it through unchanged, swap
+    in a down-tiered copy ([Degrade] must keep the query id — all
+    completion bookkeeping is keyed on it), or refuse outright.
+    Refusals are recorded exactly like dispatcher rejections
+    ({!Metrics.record_rejected}), so [offered = admitted + rejected]
+    holds either way. *)
+type verdict =
+  | Admit
+  | Degrade of Query.t
+  | Reject
+
+type admit = t -> Query.t -> verdict
+
 (** Total servers ever in the pool (retired ones included — ids index
     into this range). *)
 val n_servers : t -> int
@@ -211,7 +225,9 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
     tick, arrival or completion at the same time — while workload
     events remain; fault injectors call
     {!crash_server}/{!degrade_server}/{!restore_server} from there.
-    [n_servers] is the initial pool size.
+    [n_servers] is the initial pool size. [admit] is consulted on
+    every arrival before the dispatcher (see {!verdict}); absent, every
+    query is admitted.
 
     [obs] (default {!Obs.noop}) collects run-level observability:
     counters [sim.arrivals] / [sim.completions] / [sim.dropped] /
@@ -221,6 +237,7 @@ val drop_past_last_deadline : now:float -> Query.t -> bool
     single predictable branch. *)
 val run :
   ?obs:Obs.t ->
+  ?admit:admit ->
   ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
   ?on_complete:(Query.t -> completion:float -> unit) ->
   ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->
@@ -253,6 +270,7 @@ type session
     one-shot timers behave exactly as under {!run}. *)
 val session :
   ?obs:Obs.t ->
+  ?admit:admit ->
   ?on_dispatch:(now:float -> Query.t -> decision -> unit) ->
   ?on_complete:(Query.t -> completion:float -> unit) ->
   ?on_server_event:(sid:int -> now:float -> server_event -> unit) ->

@@ -7,7 +7,12 @@
    after a server crash killed it. The retry copy keeps the original
    [arrival]: the SLA clock never resets, so stepwise profit keeps
    bleeding while the query waits for another slot (the paper's
-   response time is always measured from first arrival). *)
+   response time is always measured from first arrival).
+
+   [tenant] names the paying customer the query belongs to (0 = the
+   anonymous single-tenant default every pre-tenancy code path uses);
+   profiles, price tiers and per-tenant accounting live in
+   [Slatree_tenancy]. *)
 
 type t = {
   id : int;
@@ -16,15 +21,17 @@ type t = {
   est_size : float;
   sla : Sla.t;
   retries : int;
+  tenant : int;
 }
 
-let make ?est_size ?(retries = 0) ~id ~arrival ~size ~sla () =
+let make ?est_size ?(retries = 0) ?(tenant = 0) ~id ~arrival ~size ~sla () =
   if size < 0.0 then invalid_arg "Query.make: size must be non-negative";
   if arrival < 0.0 then invalid_arg "Query.make: arrival must be non-negative";
   if retries < 0 then invalid_arg "Query.make: retries must be non-negative";
+  if tenant < 0 then invalid_arg "Query.make: tenant must be non-negative";
   let est_size = Option.value est_size ~default:size in
   if est_size < 0.0 then invalid_arg "Query.make: est_size must be non-negative";
-  { id; arrival; size; est_size; sla; retries }
+  { id; arrival; size; est_size; sla; retries; tenant }
 
 let retried t = { t with retries = t.retries + 1 }
 
@@ -45,4 +52,5 @@ let compare_by_id a b = Int.compare a.id b.id
 let pp ppf t =
   Fmt.pf ppf "q%d(arr=%g size=%g est=%g %a%t)" t.id t.arrival t.size t.est_size
     Sla.pp t.sla (fun ppf ->
+      if t.tenant > 0 then Fmt.pf ppf " t%d" t.tenant;
       if t.retries > 0 then Fmt.pf ppf " retry=%d" t.retries)

@@ -14,14 +14,17 @@ type t = private {
   retries : int;
       (** crash re-injections so far; the SLA clock still runs from
           [arrival] (see {!retried}) *)
+  tenant : int;
+      (** owning tenant id; [0] is the anonymous single-tenant
+          default, so pre-tenancy call sites behave unchanged *)
 }
 
 (** [make ~id ~arrival ~size ~sla ()] builds a query; [est_size]
-    defaults to [size] and [retries] to [0]. Raises
-    [Invalid_argument] on negative times. *)
+    defaults to [size], [retries] and [tenant] to [0]. Raises
+    [Invalid_argument] on negative times or a negative tenant. *)
 val make :
-  ?est_size:float -> ?retries:int -> id:int -> arrival:float -> size:float ->
-  sla:Sla.t -> unit -> t
+  ?est_size:float -> ?retries:int -> ?tenant:int -> id:int -> arrival:float ->
+  size:float -> sla:Sla.t -> unit -> t
 
 (** The retry copy a crashed query re-enters the dispatcher as:
     identical except [retries] is incremented. Crucially the original

@@ -65,6 +65,19 @@ val classes_of_string : string -> (sla_class array, string) result
 
 val classes_doc : string
 
+(** The weighted class draw for the query at stream position [index],
+    keyed off the master PRNG with {!Prng.split_key} — a pure function
+    of [(config.seed, index)], so the draw is identical however the
+    stream is chunked, tiled or parallelised. Exposed for the tenancy
+    layer (tenant assignment reuses the same keyed-draw discipline)
+    and for property tests of the class mix. *)
+val pick_class : config -> Prng.t -> index:int -> sla_class
+
+(** The stepwise SLA a class gives a query with estimate [est]:
+    level [k] at [stretches.(k) * est] paying [gains.(k)], plus the
+    class penalty. *)
+val sla_of : config -> sla_class -> est:float -> Sla.t
+
 (** Per-pass accounting: how many jobs the synthesis kept, dropped
     (no positive run time / negative submit) and clamped (submit time
     earlier than its predecessor — arrival forced monotone). *)

@@ -4,15 +4,20 @@
    and re-analysed byte-for-byte.
 
    Format (one query per line, after a version header):
-     id,arrival,size,est_size,penalty,b1:g1|b2:g2|...
-   Floats are printed with %.17g so round-trips are exact.
+     v2: id,arrival,size,est_size,penalty,b1:g1|b2:g2|...,tenant
+     v1: the same without the trailing tenant column
+   Floats are printed with %.17g so round-trips are exact. Writers
+   emit v2; [load] accepts both versions and treats a missing tenant
+   column as tenant 0 (anonymous), so pre-tenancy trace files replay
+   unchanged.
 
    Loading validates: every numeric field must be finite, times must
    be non-negative, and arrivals must be non-decreasing (the simulator
    replays the array in order and silently mis-schedules otherwise).
    Violations raise [Parse_error] carrying [file:line:]. *)
 
-let header = "# slatree-trace v1"
+let header = "# slatree-trace v2"
+let header_v1 = "# slatree-trace v1"
 
 exception Parse_error of string
 
@@ -27,9 +32,10 @@ let string_of_sla sla =
   Printf.sprintf "%.17g,%s" (Sla.penalty sla) levels
 
 let string_of_query q =
-  Printf.sprintf "%d,%.17g,%.17g,%.17g,%s" q.Query.id q.Query.arrival
+  Printf.sprintf "%d,%.17g,%.17g,%.17g,%s,%d" q.Query.id q.Query.arrival
     q.Query.size q.Query.est_size
     (string_of_sla q.Query.sla)
+    q.Query.tenant
 
 let float_of_field name s =
   match float_of_string_opt s with
@@ -57,7 +63,20 @@ let sla_of_strings ~penalty ~levels_str =
   Sla.make ~levels ~penalty
 
 let query_of_string line =
-  match String.split_on_char ',' line with
+  let fields, tenant =
+    match String.split_on_char ',' line with
+    | [ _; _; _; _; _; _ ] as fields -> (fields, 0)
+    | [ id; arrival; size; est_size; penalty; levels_str; tenant ] ->
+      let tenant =
+        match int_of_string_opt tenant with
+        | Some v when v >= 0 -> v
+        | Some _ -> parse_error "tenant is negative: %S" tenant
+        | None -> parse_error "bad tenant: %S" tenant
+      in
+      ([ id; arrival; size; est_size; penalty; levels_str ], tenant)
+    | _ -> parse_error "bad query line: %S" line
+  in
+  match fields with
   | [ id; arrival; size; est_size; penalty; levels_str ] ->
     let id =
       match int_of_string_opt id with
@@ -73,9 +92,9 @@ let query_of_string line =
          ~arrival:(nonneg_of_field "arrival" arrival)
          ~size:(nonneg_of_field "size" size)
          ~est_size:(nonneg_of_field "est_size" est_size)
-         ~sla ()
+         ~sla ~tenant ()
      with Invalid_argument msg -> parse_error "invalid query: %s" msg)
-  | _ -> parse_error "bad query line: %S" line
+  | _ -> assert false
 
 let save path queries =
   let oc = open_out path in
@@ -122,7 +141,7 @@ let load path =
       in
       (match input_line_opt () with
       | None -> parse_error "%s: empty file" path
-      | Some first when first <> header ->
+      | Some first when first <> header && first <> header_v1 ->
         at "missing header (got %S)" first
       | Some _ -> ());
       let rec go acc last_arrival =

@@ -1,6 +1,10 @@
 (** Save/replay traces as a line-oriented text format with exact float
     round-trips.
 
+    Writers emit the v2 format, which carries the query's tenant as a
+    trailing column; {!load} also accepts v1 files (no tenant column,
+    every query anonymous) so pre-tenancy traces replay unchanged.
+
     {!load} validates as it parses: malformed records, non-finite or
     negative times and arrival times that go backwards all raise
     {!Parse_error} with a [file:line:] position — a broken trace file

@@ -4,6 +4,7 @@
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 0.0))
 
 let raises_invalid f =
   match f () with exception Invalid_argument _ -> true | _ -> false
@@ -270,6 +271,103 @@ let test_static_policy_holds () =
   check_bool "paid rent" true (s.Elastic.cost > 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Server types: quantum billing and the legacy flat-rate path *)
+
+let test_server_type_validation () =
+  let mk ?speed ?(price = 1.0) ?(quantum = 100.0) ?boot_delay name =
+    Elastic.server_type ?speed ?boot_delay ~name ~price ~quantum ()
+  in
+  check_bool "empty name" true (raises_invalid (fun () -> mk ""));
+  check_bool "zero speed" true (raises_invalid (fun () -> mk ~speed:0.0 "m"));
+  check_bool "negative price" true
+    (raises_invalid (fun () -> mk ~price:(-1.0) "m"));
+  check_bool "zero quantum" true
+    (raises_invalid (fun () -> mk ~quantum:0.0 "m"));
+  check_bool "negative boot delay" true
+    (raises_invalid (fun () -> mk ~boot_delay:(-1.0) "m"))
+
+let test_quantum_round_up () =
+  let ty = Elastic.server_type ~name:"m" ~price:3.0 ~quantum:100.0 () in
+  let bill uptime = Elastic.quantum_cost ty ~uptime in
+  (* A started quantum is a billed quantum: even zero uptime owes one. *)
+  check_float "zero uptime owes a quantum" 3.0 (bill 0.0);
+  check_float "partial quantum rounds up" 3.0 (bill 1.0);
+  check_float "exact boundary stays at one" 3.0 (bill 100.0);
+  check_float "just past the boundary owes two" 6.0 (bill 101.0);
+  check_float "two and a half quanta owe three" 9.0 (bill 250.0)
+
+let test_untyped_config_flat_billing () =
+  (* With [types] left empty the controller must bill exactly the
+     legacy flat integral — the typed path contributes nothing, down
+     to the last bit of the cost float. *)
+  let queries = bursty_queries () in
+  let config =
+    mk_config ~interval:150.0 ~cost:3.0 ~boot:50.0 ~cooldown:300.0
+      ~min_servers:2 ~max_servers:8 ()
+  in
+  let _, _, _, s, _ =
+    run_instrumented ~queries ~config ~policy:Elastic.sla_tree_policy
+      ~n_servers:3
+  in
+  check_bool "scenario scaled" true (s.Elastic.scale_ups > 0);
+  Alcotest.(check int64)
+    "cost is the flat integral, bitwise"
+    (Int64.bits_of_float (s.Elastic.server_time /. 150.0 *. 3.0))
+    (Int64.bits_of_float s.Elastic.cost);
+  check_float "typed share is zero" 0.0 s.Elastic.typed_cost;
+  check_bool "no typed boots" true (s.Elastic.boots_by_type = [])
+
+let test_typed_pool_billing () =
+  (* With server types configured, scale-up boots pick a type, each
+     boot is billed at least one quantum, and the total cost splits
+     exactly into flat integral + typed quanta. *)
+  let small = Elastic.server_type ~name:"small" ~price:2.0 ~quantum:150.0 () in
+  let large =
+    Elastic.server_type ~speed:2.0 ~boot_delay:40.0 ~name:"large" ~price:4.5
+      ~quantum:150.0 ()
+  in
+  let config =
+    Elastic.config ~interval:150.0 ~cost_per_interval:3.0 ~boot_delay:50.0
+      ~cooldown:300.0
+      ~types:[| small; large |]
+      ~min_servers:2 ~max_servers:8 ()
+  in
+  let queries = bursty_queries () in
+  let c = Elastic.create config Elastic.sla_tree_policy ~initial_servers:3 in
+  let metrics = Metrics.create ~warmup_id:0 () in
+  let pick_next, hook = Schedulers.instantiate Schedulers.fcfs_sla_tree_incr in
+  let dispatch = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ()) in
+  let on_server_event ~sid ~now ev =
+    Elastic.on_server_event c ~sid ~now ev;
+    match hook with Some h -> h ~sid ~now ev | None -> ()
+  in
+  let last = ref 0.0 in
+  let tick sim =
+    last := Sim.now sim;
+    Elastic.tick c sim
+  in
+  Sim.run
+    ~on_dispatch:(fun ~now q d -> Elastic.on_dispatch c ~now q d)
+    ~on_server_event
+    ~ticker:(config.Elastic.interval, tick)
+    ~queries ~n_servers:3 ~pick_next ~dispatch ~metrics ();
+  Elastic.finalize c ~now:!last;
+  let s = Elastic.summary c in
+  check_bool "scenario scaled" true (s.Elastic.scale_ups > 0);
+  let boots =
+    List.fold_left (fun acc (_, k) -> acc + k) 0 s.Elastic.boots_by_type
+  in
+  check_bool "boots carry a type" true (boots > 0);
+  check_bool "typed quanta billed" true (s.Elastic.typed_cost > 0.0);
+  check_bool "each boot owes at least the cheapest quantum" true
+    (s.Elastic.typed_cost >= Float.of_int boots *. 2.0);
+  Alcotest.(check int64)
+    "cost = flat integral + typed quanta, bitwise"
+    (Int64.bits_of_float
+       ((s.Elastic.server_time /. 150.0 *. 3.0) +. s.Elastic.typed_cost))
+    (Int64.bits_of_float s.Elastic.cost)
+
+(* ------------------------------------------------------------------ *)
 (* Economics: the headline acceptance criterion *)
 
 let test_autoscaler_beats_statics () =
@@ -353,6 +451,16 @@ let () =
           Alcotest.test_case "pool bounds" `Quick test_pool_bounds_enforced;
           Alcotest.test_case "static holds" `Quick test_static_policy_holds;
           Alcotest.test_case "run harness" `Quick test_elastic_run_harness;
+        ] );
+      ( "server-types",
+        [
+          Alcotest.test_case "type validation" `Quick
+            test_server_type_validation;
+          Alcotest.test_case "quantum round-up" `Quick test_quantum_round_up;
+          Alcotest.test_case "untyped config bills flat, bitwise" `Quick
+            test_untyped_config_flat_billing;
+          Alcotest.test_case "typed pool billing" `Quick
+            test_typed_pool_billing;
         ] );
       ( "economics",
         [

@@ -151,6 +151,13 @@ let test_scheduler_equiv_elastic () =
   check_bool "made decisions" true (decisions > 500);
   check_int "no pick mismatches across scale events" 0 mismatches
 
+(* Satellite invariant of the rejection accounting: whenever the run
+   is quiescent, every offered query was either admitted or rejected —
+   refusals never leak into (or out of) the measured flow. *)
+let check_balance m =
+  check_int "offered = admitted + rejected" (Metrics.offered_count m)
+    (Metrics.admitted_count m + Metrics.rejected_count m)
+
 let run_dispatcher_both ?speeds ?ticker ~admission ~queries ~servers () =
   let d_incr = Dispatchers.instantiate (Dispatchers.fcfs_sla_tree_incr ~admission ()) in
   let d_tree = Dispatchers.instantiate (Dispatchers.sla_tree ~admission Planner.fcfs) in
@@ -166,6 +173,7 @@ let run_dispatcher_both ?speeds ?ticker ~admission ~queries ~servers () =
   Sim.run ?speeds ?ticker ~queries ~n_servers:servers
     ~pick_next:(Schedulers.pick Schedulers.fcfs)
     ~dispatch ~metrics ();
+  check_balance metrics;
   (!decisions, !mismatches)
 
 let test_dispatcher_equiv_exp () =

@@ -37,12 +37,18 @@ let gen_units =
     let units =
       Array.init m (fun i ->
           let uid = if dup_uids then i / 2 else i in
-          let idx =
-            if dup_uids && i land 1 = 1 && idxs.(i) = idxs.(i - 1) then
-              (idxs.(i) + 1) mod k
-            else idxs.(i)
+          let slack =
+            (* Force a shared-uid pair's KEYS apart by value — the pool
+               may hold the same quantized value at two indices, and an
+               equal (key, uid) pair would make the sort comparator a
+               non-total order (boxed Array.sort and the flat heapsort
+               could then order the pair's gains differently). *)
+            let s = pool.(idxs.(i)) in
+            if dup_uids && i land 1 = 1 && s = pool.(idxs.(i - 1)) then
+              s +. 0.25
+            else s
           in
-          { Slack_units.uid; slack = pool.(idx); gain = gains.(i) })
+          { Slack_units.uid; slack; gain = gains.(i) })
     in
     return units)
 

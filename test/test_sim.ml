@@ -48,10 +48,17 @@ let test_metrics_warmup () =
 
 let test_metrics_rejection () =
   let m = Metrics.create ~warmup_id:0 () in
+  Metrics.record_offered m;
   Metrics.record_rejected m (mk 0 0.0 1.0);
+  check_int "offered" 1 (Metrics.offered_count m);
   check_int "rejected" 1 (Metrics.rejected_count m);
-  check_float "loss is ideal profit" 1.0 (Metrics.avg_loss m);
-  check_float "profit zero" 0.0 (Metrics.avg_profit m)
+  check_int "admitted" 0 (Metrics.admitted_count m);
+  (* Rejected work never enters the system: it is excluded from the
+     measured averages and its turned-away ideal profit accumulates on
+     the side. *)
+  check_int "not measured" 0 (Metrics.measured_count m);
+  check_float "turned-away value" 1.0 (Metrics.rejected_loss m);
+  check_bool "avg loss untouched" true (Float.is_nan (Metrics.avg_loss m))
 
 let test_metrics_response () =
   let m = Metrics.create ~warmup_id:0 () in

@@ -82,8 +82,9 @@ let gen_query =
     let* size = float_range 0.001 1e4 in
     let* est_size = float_range 0.001 1e4 in
     let* retries = 0 -- 3 in
+    let* tenant = 0 -- 8 in
     let* sla = gen_sla in
-    return (Query.make ~est_size ~retries ~id ~arrival ~size ~sla ()))
+    return (Query.make ~est_size ~retries ~tenant ~id ~arrival ~size ~sla ()))
 
 let gen_opt g = QCheck.Gen.(oneof [ return None; map Option.some g ])
 
@@ -118,10 +119,19 @@ let gen_msg =
           let* avg_loss = f in
           let* avg_response = float_range 0.0 1e6 in
           let* vnow = float_range 0.0 1e9 in
+          let* tenants =
+            list_size (0 -- 4)
+              ( let* tr_tenant = 1 -- 8 in
+                let* tr_completed = 0 -- 1_000_000 in
+                let* tr_rejected = 0 -- 1000 in
+                let* tr_profit = f in
+                return
+                  { Wire.tr_tenant; tr_completed; tr_rejected; tr_profit } )
+          in
           return
             (Wire.Summary
                { completed; rejected; dropped; measured; late; total_profit;
-                 avg_loss; avg_response; vnow }) );
+                 avg_loss; avg_response; vnow; tenants }) );
         map (fun e -> Wire.Error_msg e) (string_size ~gen:printable (0 -- 60));
       ])
 
