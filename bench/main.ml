@@ -434,8 +434,63 @@ let run_elastic scale =
         r.Exp_elastic.label r.Exp_elastic.net r.Exp_elastic.profit
         r.Exp_elastic.cost)
     rows;
-  Fmt.pr "four runs in %.1f ms@.@." wall_ms;
+  Fmt.pr "%d runs in %.1f ms@.@." (List.length rows) wall_ms;
   (wall_ms, rows)
+
+(* Part 1d-bis — forecast: the predictive controller's two costs. The
+   micro loop prices one forecaster update+predict (the per-tick work
+   the predictive policy adds to the hot path); the economics rows come
+   from the elastic comparison just run — predictive minus reactive is
+   the money the forecast-ahead boots make on the diurnal shape. *)
+
+type forecast_bench = {
+  fc_updates : int;
+  fc_hw_ns : float;  (* Holt–Winters observe+predict, ns *)
+  fc_ewma_ns : float;
+  fc_reactive_net : float;
+  fc_predictive_net : float;
+  fc_oracle_net : float;
+  fc_delta : float;  (* predictive net - reactive net *)
+}
+
+let run_forecast ~rows () =
+  Fmt.pr "=== forecast: per-tick forecaster cost + predictive economics ===@.";
+  let updates = 2_000_000 in
+  let time_model mk =
+    let f = mk () in
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to updates - 1 do
+      Forecast.observe f (Float.of_int (i land 31));
+      ignore (Sys.opaque_identity (Forecast.predict f ~horizon:2))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. Float.of_int updates
+  in
+  let hw_ns = time_model (fun () -> Forecast.holt_winters ~season:24 ()) in
+  let ewma_ns = time_model (fun () -> Forecast.ewma ()) in
+  let net l =
+    match List.find_opt (fun r -> r.Exp_elastic.label = l) rows with
+    | Some r -> r.Exp_elastic.net
+    | None -> Float.nan
+  in
+  let reactive = net Exp_elastic.reactive_label in
+  let predictive = net Exp_elastic.predictive_label in
+  let oracle = net Exp_elastic.oracle_label in
+  let delta = predictive -. reactive in
+  Fmt.pr "hw(24) observe+predict: %.1f ns;  ewma: %.1f ns  (%d updates)@."
+    hw_ns ewma_ns updates;
+  Fmt.pr
+    "diurnal nets: reactive $%.0f, predictive $%.0f (%+.0f), oracle $%.0f@.@."
+    reactive predictive delta oracle;
+  {
+    fc_updates = updates;
+    fc_hw_ns = hw_ns;
+    fc_ewma_ns = ewma_ns;
+    fc_reactive_net = reactive;
+    fc_predictive_net = predictive;
+    fc_oracle_net = oracle;
+    fc_delta = delta;
+  }
 
 (* Part 1e — the domain-parallel experiment runner: the whole Table 2
    grid timed serial and on 2 / 4 worker domains, plus the check that
@@ -837,8 +892,8 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
-    ~parallel ~serve ~swf ~tenancy =
+let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~forecast
+    ~obs ~faults ~parallel ~serve ~swf ~tenancy =
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
   add "{\n";
@@ -901,6 +956,24 @@ let emit_json ~path ~scale ~micro ~throughput ~scale_run ~elastic ~obs ~faults
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   add "    ]\n  },\n";
+  add "  \"forecast\": {\n";
+  add (Printf.sprintf "    \"updates\": %d,\n" forecast.fc_updates);
+  add (Printf.sprintf "    \"hw_ns\": %s,\n" (json_float forecast.fc_hw_ns));
+  add
+    (Printf.sprintf "    \"ewma_ns\": %s,\n" (json_float forecast.fc_ewma_ns));
+  add
+    (Printf.sprintf "    \"reactive_net\": %s,\n"
+       (json_float forecast.fc_reactive_net));
+  add
+    (Printf.sprintf "    \"predictive_net\": %s,\n"
+       (json_float forecast.fc_predictive_net));
+  add
+    (Printf.sprintf "    \"oracle_net\": %s,\n"
+       (json_float forecast.fc_oracle_net));
+  add
+    (Printf.sprintf "    \"predictive_minus_reactive\": %s\n"
+       (json_float forecast.fc_delta));
+  add "  },\n";
   let lat_json name (c, p50, p90, p99) last =
     add
       (Printf.sprintf
@@ -1038,13 +1111,14 @@ let () =
   let obs = run_obs_overhead scale in
   let faults = run_faults scale in
   let elastic = run_elastic scale in
+  let forecast = run_forecast ~rows:(snd elastic) () in
   let parallel = run_parallel scale in
   let serve = run_serve scale in
   let swf = run_swf scale in
   let tenancy = run_tenancy scale in
   let micro = run_micro () in
   emit_json ~path:"BENCH_sim.json" ~scale ~micro ~throughput ~scale_run
-    ~elastic ~obs ~faults ~parallel ~serve ~swf ~tenancy;
+    ~elastic ~forecast ~obs ~faults ~parallel ~serve ~swf ~tenancy;
   if not micro_only then begin
     Fig15.run ppf ~seed:scale.Exp_scale.base_seed ();
     Table2.run ppf scale;

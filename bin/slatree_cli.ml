@@ -122,11 +122,7 @@ let run_ablation which scale_opt jobs =
            sched|dispatch|admission|incremental|predictor|fairness|hetero|drop|optimality|all)"
           s )
 
-let elastic_policy_of_string = function
-  | "sla-tree" -> Ok Elastic.sla_tree_policy
-  | "queue" -> Ok (Elastic.queue_threshold ())
-  | "static" -> Ok Elastic.static
-  | s -> Error (Printf.sprintf "unknown policy %S (sla-tree|queue|static)" s)
+(* ------------------------------------------------------------------ *)
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing shared by the sim and elastic subcommands:
@@ -155,8 +151,8 @@ let write_timeseries_output ts ~path =
   Fmt.pf ppf "wrote %d time-series samples to %s@." (Obs.Timeseries.length ts)
     path
 
-let run_elastic compare policy servers scale_opt trace metrics timeseries
-    faults jobs =
+let run_elastic compare policy shape servers scale_opt forecast horizon
+    oracle_rho trace metrics timeseries faults jobs =
   match setup_jobs jobs with
   | Error e -> `Error (false, e)
   | Ok () ->
@@ -164,13 +160,19 @@ let run_elastic compare policy servers scale_opt trace metrics timeseries
   print_scale scale;
   if compare then `Ok (Exp_elastic.run ppf scale)
   else
-    match elastic_policy_of_string policy with
+    match Exp_elastic.shape_of_string shape with
+    | Error e -> `Error (false, e)
+    | Ok shape ->
+    match
+      Exp_elastic.policy_spec_of_string ?forecast ?horizon ?rho:oracle_rho
+        policy
+    with
     | Error e -> `Error (false, e)
     | Ok policy ->
       let obs = obs_of_outputs ~trace ~metrics in
       let ts = Option.map (fun _ -> Elastic.timeseries ()) timeseries in
       (try
-         Exp_elastic.run_policy ~obs ?timeseries:ts ?faults ppf ~policy
+         Exp_elastic.run_policy ~obs ?timeseries:ts ?faults ~shape ppf ~policy
            ~initial:servers scale;
          write_obs_outputs obs ~trace ~metrics;
          (match (ts, timeseries) with
@@ -551,26 +553,46 @@ let ablation_cmd =
 let elastic_cmd =
   let compare =
     Arg.(value & flag & info [ "compare" ]
-           ~doc:"Run the full comparison (static-small / static-large / \
-                 SLA-tree autoscaler / queue-threshold)")
+           ~doc:"Run the full comparison (statics / reactive SLA-tree / \
+                 queue-threshold / predictive / oracle) on every shape")
   in
   let policy =
     Arg.(value & opt string "sla-tree" & info [ "policy" ] ~docv:"P"
-           ~doc:"Autoscaling policy: sla-tree | queue | static")
+           ~doc:"Autoscaling policy: sla-tree | queue | static | predictive | \
+                 oracle")
+  in
+  let shape =
+    Arg.(value & opt string "diurnal" & info [ "shape" ] ~docv:"S"
+           ~doc:"Arrival shape: diurnal | square | steady")
   in
   let servers =
     Arg.(value & opt int 4 & info [ "servers" ] ~docv:"M" ~doc:"Initial pool size")
   in
+  let forecast =
+    Arg.(value & opt (some string) None & info [ "forecast" ] ~docv:"SPEC"
+           ~doc:("Forecaster for --policy predictive: " ^ Forecast.spec_doc
+                 ^ " (default hw:24, matching the 24 decisions per cycle)"))
+  in
+  let horizon =
+    Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"TICKS"
+           ~doc:"Forecast horizon override in controller ticks for --policy \
+                 predictive (default: ceil(boot_delay / interval))")
+  in
+  let oracle_rho =
+    Arg.(value & opt (some float) None & info [ "oracle-rho" ] ~docv:"RHO"
+           ~doc:"Target utilization of the perfect-foresight schedule for \
+                 --policy oracle (default 0.8)")
+  in
   Cmd.v
     (Cmd.info "elastic"
        ~doc:
-         "Autoscale the server pool on a diurnal workload using SLA-tree \
-          what-if probes")
+         "Autoscale the server pool on a cyclic workload using SLA-tree \
+          what-if probes, optionally scaling ahead of an arrival forecast")
     Term.(
       ret
-        (const run_elastic $ compare $ policy $ servers $ scale_arg
-       $ trace_file_arg $ metrics_file_arg $ timeseries_file_arg $ faults_arg
-       $ jobs_arg))
+        (const run_elastic $ compare $ policy $ shape $ servers $ scale_arg
+       $ forecast $ horizon $ oracle_rho $ trace_file_arg $ metrics_file_arg
+       $ timeseries_file_arg $ faults_arg $ jobs_arg))
 
 let sim_cmd =
   let kind =

@@ -204,6 +204,142 @@ let sla_tree_policy =
         else Hold);
   }
 
+(* Predictive policy: the reactive SLA-tree rule, plus a forecast
+   branch that prices the window a booting server would actually
+   serve. An online forecaster is fed one sample per tick: the
+   window's margin-priced gain (mean idle-server margin g0 - gi times
+   the window's arrivals — exactly the evidence the reactive rule
+   thresholds). Forecasting that series rather than raw arrivals is
+   deliberate: the margin probe reads ~0 at a trough even when a peak
+   is one boot-delay away, so predicted arrivals priced at the
+   *current* margin can never fire before the reactive rule does.
+   The gain series itself carries the cycle (the Holt–Winters
+   seasonal slot remembers what this window earned last cycle), so
+   its forecast clears the rent while the margin evidence is still
+   flat — and the scale-up lands before the demand does.
+
+   The forecast is read at [h = ceil(boot_delay / interval)] ticks
+   ahead and at [h + 1] (a server requested now serves both windows),
+   taking the max: predicted demand anywhere in the reachable span
+   justifies booting now.
+
+   State lives in the closure: the forecaster, plus a pending-boot
+   list guarding the forecast branch against double-booting — a
+   predicted peak must not be paid for again while the servers bought
+   for it are still booting (the controller's cooldown gates
+   scale-downs only, so nothing else would stop the repeat). The
+   reactive branch is untouched: present evidence always justifies
+   present capacity. Policies hold run-local state, so build a fresh
+   one per run. *)
+let predictive ?(obs = Obs.noop) ?forecast ?horizon () =
+  let f =
+    match forecast with
+    | Some f -> f
+    | None -> Forecast.holt_winters ~season:24 ()
+  in
+  let pending = ref [] in
+  let gauges =
+    if not (Obs.enabled obs) then None
+    else
+      let reg = Obs.registry obs in
+      Some
+        ( Obs.Registry.gauge reg "elastic.forecast.predicted_gain",
+          Obs.Registry.gauge reg "elastic.forecast.window_gain" )
+  in
+  {
+    name = "predictive/" ^ Forecast.name f;
+    decide =
+      (fun o ->
+        let cfg = o.cfg in
+        let gain = o.margin_per_query *. Float.of_int o.arrivals in
+        Forecast.observe f gain;
+        let h =
+          match horizon with
+          | Some h -> max 1 h
+          | None ->
+            max 1 (int_of_float (Float.ceil (cfg.boot_delay /. cfg.interval)))
+        in
+        (* Before the model has seen a full cycle its forecast is a
+           smoothed level: it can only exceed the rent when current
+           evidence dips below it, which is exactly when booting is
+           wrong. No forecast until the shape is learned. *)
+        (* Min over the two reachable windows: a real cycle edge
+           clears the bar in adjacent windows too, while uncorrelated
+           seasonal noise rarely does twice in a row. *)
+        let gain_pred =
+          if not (Forecast.ready f) then 0.0
+          else
+            Float.max 0.0
+              (Float.min
+                 (Forecast.predict f ~horizon:h)
+                 (Forecast.predict f ~horizon:(h + 1)))
+        in
+        let rent = cfg.cost_per_interval *. cfg.up_factor in
+        pending := List.filter (fun ready -> ready > o.now) !pending;
+        (match gauges with
+        | Some (g_pred, g_gain) ->
+          Obs.Registry.set g_pred gain_pred;
+          Obs.Registry.set g_gain gain;
+          Obs.instant obs ~cat:"elastic"
+            ~args:
+              [
+                ("sim_t", Obs.Trace.F o.now);
+                ("horizon", Obs.Trace.I h);
+                ("predicted_gain", Obs.Trace.F gain_pred);
+                ("window_gain", Obs.Trace.F gain);
+                ("rent", Obs.Trace.F rent);
+                ("pending_boots", Obs.Trace.I (List.length !pending));
+              ]
+            "elastic.forecast"
+        | None -> ());
+        (* The forecast branch clears a higher bar than the reactive
+           one: on a structureless signal the learned "seasonality" is
+           noise around the level, and a bare rent threshold would buy
+           capacity on every positive wiggle. A real cycle edge
+           forecasts several rents deep, so the 1.5x bar costs it at
+           most one tick. *)
+        let bar = 1.5 *. rent in
+        if gain > rent then begin
+          let k = if gain > 4.0 *. rent then 2 else 1 in
+          for _ = 1 to k do
+            pending := (o.now +. cfg.boot_delay) :: !pending
+          done;
+          Scale_up k
+        end
+        else if !pending = [] && gain_pred > bar then begin
+          let k = if gain_pred > 4.0 *. rent then 2 else 1 in
+          for _ = 1 to k do
+            pending := (o.now +. cfg.boot_delay) :: !pending
+          done;
+          Scale_up k
+        end
+        else if
+          gain < cfg.cost_per_interval *. cfg.down_factor
+          (* hold capacity only when a rent-clearing peak is within
+             reach of the forecast, not on any mid-range prediction *)
+          && gain_pred <= bar
+          && o.removal_cost < cfg.cost_per_interval
+        then Scale_down 1
+        else Hold);
+  }
+
+(* Track an externally computed pool schedule (the offline oracle):
+   each tick moves the pool toward the target for [now]. [pool]
+   already counts booting servers, so the tracking converges without
+   double-booting. *)
+let scheduled ?(name = "oracle") ~target () =
+  {
+    name;
+    decide =
+      (fun o ->
+        let tgt =
+          max o.cfg.min_servers (min o.cfg.max_servers (target ~now:o.now))
+        in
+        if tgt > o.pool then Scale_up (tgt - o.pool)
+        else if tgt < o.pool then Scale_down (o.pool - tgt)
+        else Hold);
+  }
+
 (* Profit-blind baseline: react to the average queue length per
    accepting server. *)
 let queue_threshold ?(up = 3.0) ?(down = 0.5) () =

@@ -102,6 +102,40 @@ val policy_name : policy -> string
     migrates for less than one interval's rent. *)
 val sla_tree_policy : policy
 
+(** The predictive policy: the reactive rule of {!sla_tree_policy},
+    plus a forecast branch that scales {e ahead} of predicted demand.
+    [forecast] (default [Forecast.holt_winters ~season:24 ()]) is fed
+    one sample per tick: the window's margin-priced gain (the same
+    SLA-tree probe evidence the reactive rule thresholds). When the
+    forecast of that series at [t + boot_delay] clears the rent, the
+    policy boots now, so the server is online when the predicted
+    demand lands. [horizon] overrides the forecast distance (default
+    [ceil(boot_delay / interval)] ticks, min 1; the forecast is also
+    read one tick further and the max taken — a server requested now
+    serves both windows). A pending-boot guard keeps the forecast
+    branch from re-buying the same predicted peak while its servers
+    are still booting (the cooldown would not stop it: cooldown gates
+    scale-downs only). Scale-down additionally requires the
+    {e predicted} gain below the threshold, so capacity is held
+    through a forecast trough-to-peak edge.
+
+    When [obs] is enabled the policy sets the
+    [elastic.forecast.predicted_gain] / [elastic.forecast.window_gain]
+    gauges and emits one [elastic.forecast] instant per tick (category
+    ["elastic"]) carrying the prediction every scale decision rested
+    on.
+
+    The policy holds run-local state (the forecaster and the pending
+    guard): build a fresh one per run. *)
+val predictive :
+  ?obs:Obs.t -> ?forecast:Forecast.t -> ?horizon:int -> unit -> policy
+
+(** [scheduled ~target ()] tracks an externally computed pool
+    schedule: each tick moves the pool toward [target ~now] (clamped
+    to the config bounds). Used with [Forecast.Oracle] schedules as
+    the offline-optimal upper bound. Default [name] is ["oracle"]. *)
+val scheduled : ?name:string -> target:(now:float -> int) -> unit -> policy
+
 (** Profit-blind baseline on the average queue length per accepting
     server. Defaults: [up = 3.0], [down = 0.5]. *)
 val queue_threshold : ?up:float -> ?down:float -> unit -> policy

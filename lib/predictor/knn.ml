@@ -48,11 +48,18 @@ let distance2 a b =
 
 (* Predict by averaging the k nearest neighbours in log space (i.e. a
    geometric mean of their observed times). A full sort is O(n log n);
-   training sets here are small enough that this dominates nothing. *)
+   training sets here are small enough that this dominates nothing.
+   Ties on distance break on training index: Array.sort is not stable,
+   so a distance-only comparator leaves equidistant neighbours in
+   unspecified order and the prediction would depend on training-set
+   permutation. *)
 let predict t x =
   let q = standardize ~means:t.means ~stds:t.stds x in
   let dists = Array.mapi (fun i xi -> (distance2 q xi, i)) t.xs in
-  Array.sort (fun (a, _) (b, _) -> Float.compare a b) dists;
+  Array.sort
+    (fun (da, ia) (db, ib) ->
+      match Float.compare da db with 0 -> Int.compare ia ib | c -> c)
+    dists;
   let acc = ref 0.0 in
   for r = 0 to t.k - 1 do
     let _, i = dists.(r) in
@@ -64,6 +71,10 @@ let predict t x =
 let mape t xs ys =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Knn.mape: empty test set";
+  if Array.length ys <> n then invalid_arg "Knn.mape: |xs| <> |ys|";
+  Array.iter
+    (fun y -> if y <= 0.0 then invalid_arg "Knn.mape: labels must be positive")
+    ys;
   let acc = ref 0.0 in
   Array.iteri
     (fun i x -> acc := !acc +. Float.abs ((predict t x -. ys.(i)) /. ys.(i)))

@@ -8,8 +8,13 @@ type t
     targets or [k <= 0]; [k] is clamped to the training-set size. *)
 val fit : k:int -> float array array -> float array -> t
 
-(** Geometric mean of the [k] nearest training targets. *)
+(** Geometric mean of the [k] nearest training targets. Equidistant
+    neighbours break ties on training index, so the prediction is
+    invariant under permutation of the training set. *)
 val predict : t -> float array -> float
 
-(** Mean absolute percentage error on a labeled test set. *)
+(** Mean absolute percentage error on a labeled test set. Raises
+    [Invalid_argument] on an empty test set, mismatched lengths, or
+    non-positive labels (the same contract [fit] enforces — a zero
+    label would otherwise yield a silent [inf]/[nan]). *)
 val mape : t -> float array array -> float array -> float

@@ -368,6 +368,97 @@ let test_typed_pool_billing () =
     (Int64.bits_of_float s.Elastic.cost)
 
 (* ------------------------------------------------------------------ *)
+(* Cooldown semantics: shrink-only throttling (regression for the
+   audit in the predictive-autoscaling change) *)
+
+let test_cooldown_gates_scale_down_only () =
+  let always what = { Elastic.name = "always"; decide = (fun _ -> what) } in
+  let queries = bursty_queries ~n:800 () in
+  let interval = 100.0 and cooldown = 350.0 in
+  let config =
+    mk_config ~interval ~cooldown ~min_servers:2 ~max_servers:8 ()
+  in
+  (* A policy demanding a shrink every tick gets one at most every
+     cooldown. *)
+  let _, _, _, down, _ =
+    run_instrumented ~queries ~config ~policy:(always (Elastic.Scale_down 1))
+      ~n_servers:8
+  in
+  check_bool "shrinks happened" true (down.Elastic.scale_downs >= 2);
+  let rec gaps = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+      check_bool
+        (Printf.sprintf "downs %.0f -> %.0f spaced by cooldown" t1 t2)
+        true
+        (t2 -. t1 >= cooldown);
+      gaps rest
+    | _ -> ()
+  in
+  gaps down.Elastic.events;
+  (* The same cooldown must never throttle growth: per the config
+     contract, scale-ups stay back-to-back. *)
+  let _, _, _, up, _ =
+    run_instrumented ~queries ~config ~policy:(always (Elastic.Scale_up 1))
+      ~n_servers:2
+  in
+  check_int "pool filled" 6 up.Elastic.scale_ups;
+  let rec has_consecutive = function
+    | (t1, _) :: ((t2, _) :: _ as rest) ->
+      t2 -. t1 <= interval +. 1e-9 || has_consecutive rest
+    | _ -> false
+  in
+  check_bool "ups fire on consecutive ticks inside the cooldown" true
+    (has_consecutive up.Elastic.events)
+
+(* ------------------------------------------------------------------ *)
+(* Predictive policy: the pending-boot guard *)
+
+(* A forecaster already convinced a big square peak is coming: season 8,
+   duty 0.5, amplitude far above any rent used below. *)
+let trained_square n =
+  let f = Forecast.holt_winters ~season:8 () in
+  for i = 0 to n - 1 do
+    Forecast.observe f (if i mod 8 >= 4 then 100.0 else 0.0)
+  done;
+  f
+
+let test_predictive_no_double_boot () =
+  (* boot_delay spans several intervals; the forecast branch fires
+     once, then must hold the identical evidence until those servers
+     are online — the controller's cooldown would NOT stop the repeat
+     (it gates scale-downs only, proven above). *)
+  let cfg = mk_config ~interval:100.0 ~cost:2.0 ~boot:250.0 () in
+  let obs_at now =
+    {
+      Elastic.now;
+      pool = 2;
+      accepting = 2;
+      queue_len = 0;
+      backlog = 0.0;
+      arrivals = 0;  (* quiet window: the reactive rule sees nothing *)
+      margin_per_query = 0.0;
+      removal_cost = 0.0;  (* shrinking is free, so only the forecast holds it *)
+      cfg;
+    }
+  in
+  let p = Elastic.predictive ~forecast:(trained_square 24) ~horizon:4 () in
+  (match p.Elastic.decide (obs_at 0.0) with
+  | Elastic.Scale_up _ -> ()
+  | a -> Alcotest.failf "expected forecast-driven scale-up, got %a" Elastic.pp_action a);
+  (* Same predicted peak one and two ticks later, servers still
+     booting: both the re-buy and the scale-down must be suppressed. *)
+  check_bool "tick 2 holds" true (p.Elastic.decide (obs_at 100.0) = Elastic.Hold);
+  check_bool "tick 3 holds" true (p.Elastic.decide (obs_at 200.0) = Elastic.Hold);
+  (* Counterfactual: a fresh policy whose forecaster saw the same
+     history but has no boot in flight fires on that same tick-2
+     evidence — the pending guard is the only thing holding back. *)
+  let p' = Elastic.predictive ~forecast:(trained_square 25) ~horizon:4 () in
+  match p'.Elastic.decide (obs_at 100.0) with
+  | Elastic.Scale_up _ -> ()
+  | a ->
+    Alcotest.failf "counterfactual should scale up, got %a" Elastic.pp_action a
+
+(* ------------------------------------------------------------------ *)
 (* Economics: the headline acceptance criterion *)
 
 let test_autoscaler_beats_statics () =
@@ -399,6 +490,58 @@ let test_autoscaler_beats_statics () =
     (queue.Exp_elastic.ups + queue.Exp_elastic.downs > 0);
   check_bool "autoscaler adapted the pool" true
     (auto.Exp_elastic.peak > auto.Exp_elastic.low)
+
+let three_way shape =
+  let scale = Exp_scale.smoke in
+  let rows =
+    Exp_elastic.rows ~shape ~scale ~seed:scale.Exp_scale.base_seed ()
+  in
+  let find l =
+    match List.find_opt (fun r -> r.Exp_elastic.label = l) rows with
+    | Some r -> r.Exp_elastic.net
+    | None -> Alcotest.failf "row %s missing" l
+  in
+  ( find Exp_elastic.reactive_label,
+    find Exp_elastic.predictive_label,
+    find Exp_elastic.oracle_label )
+
+let test_three_way_ordering_diurnal () =
+  (* The tentpole claim: with a real boot delay on a cyclic workload,
+     forecast-ahead boots strictly beat reacting after the ramp, and
+     the perfect-foresight oracle bounds both from above. *)
+  let reactive, predictive, oracle = three_way Exp_elastic.Diurnal in
+  check_bool
+    (Printf.sprintf "predictive strictly beats reactive (%.0f > %.0f)"
+       predictive reactive)
+    true (predictive > reactive);
+  check_bool
+    (Printf.sprintf "oracle bounds predictive (%.0f >= %.0f)" oracle predictive)
+    true (oracle >= predictive)
+
+let test_three_way_ordering_square () =
+  let reactive, predictive, oracle = three_way Exp_elastic.Square in
+  check_bool
+    (Printf.sprintf "predictive beats reactive (%.0f >= %.0f)" predictive
+       reactive)
+    true (predictive >= reactive);
+  check_bool
+    (Printf.sprintf "oracle bounds predictive (%.0f >= %.0f)" oracle predictive)
+    true (oracle >= predictive)
+
+let test_steady_prediction_tax_bounded () =
+  (* The no-structure control: Holt–Winters learns cycle-1 noise as
+     "seasonality", so a small tax vs the reactive rule is expected —
+     but it must stay small, and the oracle still bounds everything. *)
+  let reactive, predictive, oracle = three_way Exp_elastic.Steady in
+  check_bool
+    (Printf.sprintf "tax bounded (%.0f >= 0.85 * %.0f)" predictive reactive)
+    true
+    (predictive >= 0.85 *. reactive);
+  check_bool
+    (Printf.sprintf "oracle on top (%.0f >= %.0f)" oracle
+       (Float.max reactive predictive))
+    true
+    (oracle >= Float.max reactive predictive)
 
 let test_elastic_run_harness () =
   (* The one-call harness agrees with the instrumented wiring. *)
@@ -462,9 +605,25 @@ let () =
           Alcotest.test_case "typed pool billing" `Quick
             test_typed_pool_billing;
         ] );
+      ( "cooldown",
+        [
+          Alcotest.test_case "gates scale-down only" `Quick
+            test_cooldown_gates_scale_down_only;
+        ] );
+      ( "predictive",
+        [
+          Alcotest.test_case "no double boot while pending" `Quick
+            test_predictive_no_double_boot;
+        ] );
       ( "economics",
         [
           Alcotest.test_case "autoscaler beats statics" `Slow
             test_autoscaler_beats_statics;
+          Alcotest.test_case "three-way ordering (diurnal)" `Slow
+            test_three_way_ordering_diurnal;
+          Alcotest.test_case "three-way ordering (square)" `Slow
+            test_three_way_ordering_square;
+          Alcotest.test_case "steady prediction tax bounded" `Slow
+            test_steady_prediction_tax_bounded;
         ] );
     ]

@@ -88,6 +88,62 @@ let test_knn_constant_feature_no_nan () =
   let m = Knn.fit ~k:1 xs ys in
   check_bool "finite prediction" true (Float.is_finite (Knn.predict m [| 5.0; 2.1 |]))
 
+let test_knn_tie_break_on_duplicates () =
+  (* Regression: equidistant neighbours used to be picked in whatever
+     order the unstable sort left them. With duplicated feature rows
+     carrying different labels, k = 1 must deterministically pick the
+     lowest training index. *)
+  let xs = [| [| 1.0 |]; [| 3.0 |]; [| 1.0 |]; [| 1.0 |] |] in
+  let ys = [| 2.0; 9.0; 5.0; 7.0 |] in
+  let m = Knn.fit ~k:1 xs ys in
+  check_float "lowest-index duplicate wins" 2.0 (Knn.predict m [| 1.0 |])
+
+let prop_knn_permutation_invariant =
+  (* Under duplicate distances the prediction must not depend on the
+     training-set order: reversing a training set whose rows are all
+     pairwise duplicates (two distinct feature values only) yields the
+     same prediction, because ties break on the ORIGINAL index in each
+     set, selecting the same multiset of labels. *)
+  QCheck.Test.make ~name:"predict permutation-invariant under duplicate distances"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size Gen.(int_range 2 12) (pair bool (int_range 1 50))))
+    (fun (k, spec) ->
+      QCheck.assume (List.length spec >= 2);
+      (* Two feature values, 0 and 10; labels vary. Sorting the labels
+         per feature value gives the canonical tie-break outcome. *)
+      let mk spec =
+        let xs =
+          Array.of_list
+            (List.map (fun (hi, _) -> [| (if hi then 10.0 else 0.0) |]) spec)
+        in
+        let ys = Array.of_list (List.map (fun (_, y) -> Float.of_int y) spec) in
+        Knn.fit ~k xs ys
+      in
+      (* A permutation that preserves the relative order within each
+         duplicate group selects the same neighbours: interleave the
+         groups differently by stable-partitioning. *)
+      let lo, hi = List.partition (fun (h, _) -> not h) spec in
+      let a = mk spec and b = mk (lo @ hi) in
+      let q = [| 4.0 |] in
+      Float.equal (Knn.predict a q) (Knn.predict b q))
+
+let test_knn_mape_guards () =
+  (* Regression: a zero (or negative) label used to flow into the
+     percentage division and poison the mean with inf/nan. *)
+  let raises f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  let m = Knn.fit ~k:1 [| [| 0.0 |]; [| 1.0 |] |] [| 1.0; 2.0 |] in
+  check_bool "empty test set" true (raises (fun () -> Knn.mape m [||] [||]));
+  check_bool "length mismatch" true
+    (raises (fun () -> Knn.mape m [| [| 0.0 |] |] [| 1.0; 2.0 |]));
+  check_bool "zero label" true
+    (raises (fun () -> Knn.mape m [| [| 0.0 |] |] [| 0.0 |]));
+  check_bool "negative label" true
+    (raises (fun () -> Knn.mape m [| [| 0.0 |] |] [| -1.0 |]));
+  check_bool "valid set still works" true
+    (Float.is_finite (Knn.mape m [| [| 0.5 |] |] [| 1.5 |]))
+
 let test_knn_mape_reasonable_on_plans () =
   (* The whole point (Sec 2.3): plan features predict execution time
      well enough to drive decisions. *)
@@ -171,6 +227,10 @@ let () =
           Alcotest.test_case "k clamped" `Quick test_knn_k_clamped;
           Alcotest.test_case "invalid inputs" `Quick test_knn_invalid;
           Alcotest.test_case "constant feature" `Quick test_knn_constant_feature_no_nan;
+          Alcotest.test_case "tie-break on duplicates" `Quick
+            test_knn_tie_break_on_duplicates;
+          qtest prop_knn_permutation_invariant;
+          Alcotest.test_case "mape guards" `Quick test_knn_mape_guards;
           Alcotest.test_case "MAPE on plans" `Slow test_knn_mape_reasonable_on_plans;
           Alcotest.test_case "deterministic" `Quick test_predictor_deterministic;
           qtest prop_prediction_positive;
